@@ -1,0 +1,90 @@
+"""Design-choice ablations flagged in DESIGN.md.
+
+1. Fanout on/off: the constant-depth claim hinges on the measurement-based
+   Fanout (Sec 3.5); without it the Toffoli bank is O(n) deep.
+2. Topology: the paper assumes a line and lists topology as future work
+   (Sec 7) — richer topologies cut the *physical* Bell cost of the naive
+   scheme's long-range teleports, while COMPAS (nearest-neighbour by
+   construction) is insensitive.
+"""
+
+from conftest import emit
+
+from repro.core import build_compas
+from repro.fanout import append_parallel_toffoli_bank, fanout_ancillas_required
+from repro.network import (
+    DistributedProgram,
+    complete_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.reporting import Table
+
+
+def _bank_depth(n: int, use_fanout: bool) -> int:
+    program = DistributedProgram()
+    program.add_qpu("m")
+    (a,) = program.alloc("m", "a", 1)
+    bs = program.alloc("m", "b", n)
+    ts = program.alloc("m", "t", n)
+    ancillas = program.alloc("m", "anc", fanout_ancillas_required(n)) if use_fanout else []
+    append_parallel_toffoli_bank(
+        program, a, list(zip(bs, ts)), ancillas, use_fanout=use_fanout
+    )
+    return program.build().depth()
+
+
+def test_ablation_fanout(once):
+    table = Table(
+        "Ablation — Toffoli bank depth with vs without Fanout",
+        ["n", "with_fanout", "without_fanout"],
+    )
+
+    def run():
+        return [(n, _bank_depth(n, True), _bank_depth(n, False)) for n in (2, 4, 8, 16)]
+
+    rows = once(run)
+    for n, with_f, without_f in rows:
+        table.add_row(n=n, with_fanout=with_f, without_fanout=without_f)
+    emit("ablation_fanout", table)
+
+    # Constant vs linear growth; crossover by n=8.
+    assert rows[-1][1] == rows[-2][1]
+    assert rows[-1][2] > 2 * rows[1][2] * 0.9
+    assert rows[2][1] < rows[2][2]
+
+
+def test_ablation_topology(once):
+    table = Table(
+        "Ablation — physical Bell pairs of one COMPAS run per topology (k=6, n=2)",
+        ["topology", "logical", "physical"],
+    )
+    k, n = 6, 2
+    names = [f"qpu{i}" for i in range(k)]
+    builders = {
+        "line": line_topology,
+        "ring": ring_topology,
+        "star": star_topology,
+        "complete": complete_topology,
+    }
+
+    def run():
+        rows = []
+        for label, factory in builders.items():
+            build = build_compas(k, n, design="teledata", topology=factory(names))
+            ledger = build.program.ledger
+            rows.append((label, ledger.logical, ledger.physical))
+        return rows
+
+    rows = once(run)
+    for label, logical, physical in rows:
+        table.add_row(topology=label, logical=logical, physical=physical)
+    emit("ablation_topology", table)
+
+    by_name = {label: (logical, physical) for label, logical, physical in rows}
+    # Logical consumption is topology-independent.
+    assert len({v[0] for v in by_name.values()}) == 1
+    # All-to-all removes every stitching hop; the line pays the most.
+    assert by_name["complete"][1] <= by_name["line"][1]
+    assert by_name["complete"][1] == by_name["complete"][0]

@@ -1,0 +1,81 @@
+"""Figure 10: upper bounds on the QPU count vs Bell-pair logical error rate.
+
+Regenerates k_max(p; eps, n=100) curves for eps in {1e-1 .. 1e-4} over the
+paper's 1e-8..1e-3 error-rate range, plus the distillation-code markers
+(HGP/LP/SC from [5, 46]).  Expected shape: k_max ~ eps/(n p); better codes
+(lower logical error) admit more QPUs; the LP [[544,80,12]] anchor sits
+near 1e-6 where, per Sec 5.5, only a handful of QPUs fit at eps = 1e-3.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import DISTILLATION_CODES, logical_bell_error_rate, max_parties
+from repro.reporting import Figure, Table
+
+N = 100
+EPSILONS = (1e-1, 1e-2, 1e-3, 1e-4)
+P_GRID = np.logspace(-8, -3, 24)
+
+
+def test_fig10_curves(once):
+    figure = Figure(
+        "Figure 10 — upper bound on QPUs vs Bell-pair logical error rate (n=100)",
+        "bell pair logical error rate p",
+        "max QPUs k",
+    )
+
+    def run():
+        return {
+            eps: [max_parties(float(p), eps, n=N, k_cap=100000) for p in P_GRID]
+            for eps in EPSILONS
+        }
+
+    curves = once(run)
+    for eps, ks in curves.items():
+        series = figure.new_series(f"eps = {eps:g}")
+        for p, k in zip(P_GRID, ks):
+            series.add(float(p), k)
+    emit("fig10_curves", figure)
+
+    for eps, ks in curves.items():
+        assert all(ks[i] >= ks[i + 1] for i in range(len(ks) - 1))
+    # Larger error budgets admit more QPUs at every p.
+    for i, p in enumerate(P_GRID):
+        assert curves[1e-1][i] >= curves[1e-4][i]
+
+
+def test_fig10_code_markers(once):
+    table = Table(
+        "Figure 10 — distillation-code markers",
+        ["code", "rate", "logical_bell_error", "k_max_eps_1e-3", "k_max_eps_1e-2"],
+    )
+
+    def run():
+        rows = []
+        for code in DISTILLATION_CODES:
+            p_l = logical_bell_error_rate(code)
+            rows.append(
+                (
+                    code.label(),
+                    code.rate,
+                    p_l,
+                    max_parties(p_l, 1e-3, n=N, k_cap=100000),
+                    max_parties(p_l, 1e-2, n=N, k_cap=100000),
+                )
+            )
+        return rows
+
+    rows = once(run)
+    for label, rate, p_l, k3, k2 in rows:
+        table.add_row(
+            code=label, rate=rate, logical_bell_error=p_l,
+            **{"k_max_eps_1e-3": k3, "k_max_eps_1e-2": k2},
+        )
+    emit("fig10_codes", table)
+
+    # The Sec 5.5 anchor: LP [[544,80,12]] near 1e-6 admits only a
+    # handful-to-tens of QPUs at eps=1e-3.
+    lp = next(r for r in rows if "544" in r[0])
+    assert 1e-7 < lp[2] < 1e-5
+    assert 2 <= lp[3] <= 30

@@ -1,0 +1,63 @@
+"""Figure 3 / Sec 2.5: Bell-pair cost of the naive distribution.
+
+Regenerates the O(n^2) worst-case Bell consumption of the naive scheme on a
+line (formula + the measured ledger of the actual builder) against the O(n)
+per-party cost of COMPAS.  Expected shape: quadratic vs linear, with the
+crossover at small n.
+"""
+
+from conftest import emit
+
+from repro.core import build_compas
+from repro.core.naive import build_naive_distribution
+from repro.reporting import Table
+from repro.resources import naive_cost, teledata_cost
+
+K = 4
+
+
+def test_fig3_naive_bell_cost(once):
+    table = Table(
+        f"Figure 3 — Bell pairs: naive redistribution vs COMPAS (k = {K})",
+        [
+            "n",
+            "naive_model",
+            "naive_ledger_physical",
+            "compas_teledata_model",
+            "compas_ledger_logical",
+        ],
+    )
+
+    def run():
+        rows = []
+        for n in (1, 2, 4, 8):
+            naive_build = build_naive_distribution(K, n, basis=None)
+            compas_build = build_compas(K, n, design="teledata")
+            rows.append(
+                (
+                    n,
+                    naive_cost(max(n, K), K).bell_pairs,
+                    naive_build.program.ledger.physical,
+                    teledata_cost(n).bell_pairs,
+                    compas_build.program.ledger.logical,
+                )
+            )
+        return rows
+
+    rows = once(run)
+    for row in rows:
+        table.add_row(
+            n=row[0],
+            naive_model=row[1],
+            naive_ledger_physical=row[2],
+            compas_teledata_model=row[3],
+            compas_ledger_logical=row[4],
+        )
+    emit("fig3_naive_bellpairs", table)
+
+    # Quadratic vs linear growth.
+    naive_growth = rows[-1][2] / max(rows[1][2], 1)
+    compas_growth = rows[-1][4] / max(rows[1][4], 1)
+    assert naive_growth > compas_growth
+    # Large-n model check: naive ~ O(n^2).
+    assert naive_cost(100, K).bell_pairs > 40 * naive_cost(10, K).bell_pairs

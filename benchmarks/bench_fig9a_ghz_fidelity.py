@@ -1,0 +1,43 @@
+"""Figure 9a: fidelity of the r-party distributed GHZ preparation.
+
+Regenerates <GHZ|rho|GHZ> vs party count r in 4..12 for p2q in
+{0.001, 0.003, 0.005} with the paper's linear fits.  Expected shape:
+near-linear decrease in r, steeper at larger p2q.
+"""
+
+from conftest import FULL_SCALE, emit
+
+from repro.analysis import ghz_fidelity_sweep
+from repro.reporting import Figure
+
+SHOTS = 50_000 if FULL_SCALE else 6_000
+PARTIES = [4, 6, 8, 10, 12]
+
+
+def test_fig9a_ghz_fidelity(once):
+    figure = Figure("Figure 9a — GHZ fidelity vs parties", "parties r", "fidelity")
+
+    def run():
+        return [
+            ghz_fidelity_sweep(p, parties=PARTIES, shots=SHOTS, seed=90 + i)
+            for i, p in enumerate((0.001, 0.003, 0.005))
+        ]
+
+    sweeps = once(run)
+    for sweep in sweeps:
+        series = figure.new_series(f"p2q = {sweep.p}")
+        for r, f in zip(sweep.parties, sweep.fidelities):
+            series.add(r, f)
+        fit_series = figure.new_series(
+            f"fit p2q={sweep.p}: {sweep.fit.slope:.4f} r + {sweep.fit.intercept:.4f}"
+        )
+        for r in sweep.parties:
+            fit_series.add(r, sweep.fit.predict(r))
+    emit("fig9a_ghz_fidelity", figure)
+
+    # Shape: decreasing in r, steeper for larger p2q.
+    for sweep in sweeps:
+        assert sweep.fit.slope < 0
+        assert sweep.fidelities[0] > sweep.fidelities[-1]
+    slopes = [s.fit.slope for s in sweeps]
+    assert slopes[2] < slopes[0]  # p=0.005 drops faster than p=0.001

@@ -1,0 +1,74 @@
+"""Figure 9c: overall COMPAS fidelity estimate (Sec 5.4).
+
+Regenerates F = (1 - p_GHZ(ceil(k/2))) (1 - p_CSWAP(n))^(k-1) vs n for
+k in {8, 12} and p2q in {0.001, 0.003, 0.005}, both designs.  Expected
+shape: fidelity decreasing in n, k, and p2q; teledata slightly ahead.
+"""
+
+from conftest import FULL_SCALE, emit
+
+from repro.analysis import (
+    PrimitiveErrorModel,
+    cswap_classical_fidelity,
+    ghz_fidelity_frames,
+)
+from repro.reporting import Figure
+
+NS = list(range(1, 6)) if FULL_SCALE else [1, 2, 3]
+KS = (8, 12)
+GHZ_SHOTS = 50_000 if FULL_SCALE else 5_000
+SHOTS_PER_INPUT = 30 if FULL_SCALE else 6
+MAX_INPUTS = 300 if FULL_SCALE else 16
+PRIMITIVE_SHOTS = 20_000 if FULL_SCALE else 3_000
+
+
+def test_fig9c_overall_fidelity(once):
+    figure = Figure(
+        "Figure 9c — overall fidelity estimate", "state width n", "fidelity"
+    )
+
+    def run():
+        curves = {}
+        for p in (0.001, 0.003, 0.005):
+            model = PrimitiveErrorModel(p, shots=PRIMITIVE_SHOTS, seed=5)
+            ghz_error = {
+                k: 1.0 - ghz_fidelity_frames((k + 1) // 2, p, shots=GHZ_SHOTS, seed=6)
+                for k in KS
+            }
+            for design in ("teledata", "telegate"):
+                cswap_error = {
+                    n: 1.0
+                    - cswap_classical_fidelity(
+                        design,
+                        n,
+                        p,
+                        shots_per_input=SHOTS_PER_INPUT,
+                        max_inputs=MAX_INPUTS,
+                        seed=7,
+                        model=model,
+                    ).fidelity
+                    for n in NS
+                }
+                for k in KS:
+                    curves[(design, p, k)] = [
+                        max(
+                            (1 - ghz_error[k]) * (1 - cswap_error[n]) ** (k - 1),
+                            0.0,
+                        )
+                        for n in NS
+                    ]
+        return curves
+
+    curves = once(run)
+    for (design, p, k), values in sorted(curves.items()):
+        series = figure.new_series(f"{design} p2q={p} k={k}")
+        for n, f in zip(NS, values):
+            series.add(n, f)
+    emit("fig9c_overall_fidelity", figure)
+
+    # Shape: decreasing in n; k=12 below k=8; higher p lower fidelity.
+    for design in ("teledata", "telegate"):
+        curve = curves[(design, 0.005, 8)]
+        assert curve[-1] < curve[0]
+        assert curves[(design, 0.003, 12)][0] < curves[(design, 0.003, 8)][0] + 0.02
+        assert curves[(design, 0.005, 8)][0] < curves[(design, 0.001, 8)][0]

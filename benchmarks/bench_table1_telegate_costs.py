@@ -1,0 +1,38 @@
+"""Table 1: per-QPU cost of the telegate scheme (Sec 3.3).
+
+Regenerates every row — ancilla, Bell pairs, depth per step — and the
+(a)+(b1-b4)x2+(c) total: ancilla n, Bell pairs 2+6n, depth 99.
+"""
+
+from conftest import emit
+
+from repro.reporting import Table
+from repro.resources import telegate_cost
+
+
+def test_table1_telegate_costs(once):
+    n = 4  # the symbolic n of the paper's table, instantiated
+    cost = once(telegate_cost, n)
+    table = Table(
+        f"Table 1 — telegate scheme cost per QPU (n = {n})",
+        ["step", "ancilla", "bell_pairs", "depth", "repetitions"],
+    )
+    for step in cost.steps:
+        table.add_row(
+            step=step.label,
+            ancilla=step.ancilla,
+            bell_pairs=step.bell_pairs,
+            depth=step.depth,
+            repetitions=step.repetitions,
+        )
+    table.add_row(
+        step="(d) Total",
+        ancilla=f"{cost.ancilla} (= n, reuse)",
+        bell_pairs=f"{cost.bell_pairs} (= 2 + 6n)",
+        depth=f"{cost.depth} (paper: 99)",
+        repetitions=1,
+    )
+    emit("table1_telegate", table)
+    assert cost.depth == 99
+    assert cost.bell_pairs == 2 + 6 * n
+    assert cost.ancilla == n

@@ -1,0 +1,37 @@
+"""Table 2: per-QPU cost of the teledata scheme (Sec 3.4).
+
+Regenerates every row and the total: ancilla 2n, Bell pairs 2+4n, depth 91.
+"""
+
+from conftest import emit
+
+from repro.reporting import Table
+from repro.resources import teledata_cost
+
+
+def test_table2_teledata_costs(once):
+    n = 4
+    cost = once(teledata_cost, n)
+    table = Table(
+        f"Table 2 — teledata scheme cost per QPU (n = {n})",
+        ["step", "ancilla", "bell_pairs", "depth", "repetitions"],
+    )
+    for step in cost.steps:
+        table.add_row(
+            step=step.label,
+            ancilla=step.ancilla,
+            bell_pairs=step.bell_pairs,
+            depth=step.depth,
+            repetitions=step.repetitions,
+        )
+    table.add_row(
+        step="(d) Total",
+        ancilla=f"{cost.ancilla} (= 2n, reuse)",
+        bell_pairs=f"{cost.bell_pairs} (= 2 + 4n)",
+        depth=f"{cost.depth} (paper: 91)",
+        repetitions=1,
+    )
+    emit("table2_teledata", table)
+    assert cost.depth == 91
+    assert cost.bell_pairs == 2 + 4 * n
+    assert cost.ancilla == 2 * n

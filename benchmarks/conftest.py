@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it prints the
+same rows/series the paper reports (visible with ``pytest -s``) and persists
+the raw data as JSON under ``benchmarks/out/`` for EXPERIMENTS.md.
+
+Scale knobs: the paper's own artifact takes ~5 hours; these defaults are
+sized for minutes.  Set ``REPRO_BENCH_SCALE=full`` for paper-scale shots.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+
+def emit(name: str, payload) -> None:
+    """Print a result object and persist its JSON dump."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = payload.to_text()
+    print()
+    print(text)
+    (OUT_DIR / f"{name}.json").write_text(payload.to_json())
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (heavy simulations)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner

@@ -1,0 +1,45 @@
+"""Entanglement spectroscopy of a partially entangled pair (Sec 6.2).
+
+Builds the state cos(theta)|00> + sin(theta)|11>, whose half-chain
+entanglement spectrum is {cos^2, sin^2}, measures tr(rho_A^m) with the
+SWAP test for m = 2, and recovers the spectrum through the Newton-Girard
+identity — the Johri-Steiger-Troyer protocol [30] on COMPAS circuits.
+
+Run:  python examples/entanglement_spectroscopy.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.apps import entanglement_spectroscopy
+
+
+def partially_entangled(theta: float) -> np.ndarray:
+    state = np.zeros(4, dtype=complex)
+    state[0b00] = math.cos(theta)
+    state[0b11] = math.sin(theta)
+    return state
+
+
+def main() -> None:
+    print("half-chain entanglement spectrum of cos|00> + sin|11>")
+    print(f"{'theta':>8} {'exact':>18} {'recovered':>22} {'gap':>8}")
+    for theta in (0.2, math.pi / 6, math.pi / 4):
+        psi = partially_entangled(theta)
+        exact = sorted([math.cos(theta) ** 2, math.sin(theta) ** 2], reverse=True)
+        result = entanglement_spectroscopy(
+            psi, keep=[0], num_qubits=2, max_order=2,
+            shots=20000, seed=int(theta * 100), variant="d",
+        )
+        recovered = [f"{v:.3f}" for v in result.eigenvalues]
+        print(
+            f"{theta:>8.3f} {str([round(e, 3) for e in exact]):>18} "
+            f"{str(recovered):>22} {result.gap():>8.3f}"
+        )
+    print("\ntheta = pi/4 is maximally entangled: a flat {0.5, 0.5} spectrum")
+    print("(the degenerate point where shot noise is amplified the most).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Parallel QSP: evaluating tr(P(rho)) by polynomial factorisation (Sec 6.4).
+
+Splits a degree-4 polynomial into two degree-2 factors (the O(d/k) depth
+reduction of [42]), applies each factor to its own copy of rho, and
+assembles tr(P(rho)) with the multi-party SWAP test.
+
+Run:  python examples/parallel_qsp.py
+"""
+
+import numpy as np
+
+from repro.apps import factor_polynomial, parallel_qsp_trace_exact, parallel_qsp_trace_sampled
+from repro.utils import random_density_matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    rho = random_density_matrix(1, rng=rng)
+    coefficients = np.array([1.0, 0.0, 0.5, 0.0, 0.2])  # x^4 + 0.5 x^2 + 0.2
+    print("target: tr(P(rho)) with P(x) = x^4 + 0.5 x^2 + 0.2")
+
+    direct = float(np.sum(np.polyval(coefficients, np.linalg.eigvalsh(rho))))
+    print(f"direct eigenvalue sum          = {direct:.4f}")
+
+    for k in (1, 2):
+        factored = factor_polynomial(coefficients, k)
+        exact = parallel_qsp_trace_exact(rho, factored)
+        degrees = [len(f) - 1 for f in factored.factors]
+        print(
+            f"k={k}: factor degrees {degrees} "
+            f"(sequential depth proxy {factored.max_factor_degree}), "
+            f"factored trace = {exact:.4f}"
+        )
+
+    factored = factor_polynomial(coefficients, 2)
+    estimate, exact = parallel_qsp_trace_sampled(
+        rho, factored, shots=20000, seed=3, variant="d"
+    )
+    print(f"\nSWAP-test assembly (k=2):      = {estimate:.4f}  (exact {exact:.4f})")
+    print("the multi-party SWAP test recombines the two half-degree factors,")
+    print("halving the QSP circuit depth exactly as Sec 6.4 describes.")
+
+
+if __name__ == "__main__":
+    main()

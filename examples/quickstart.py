@@ -1,0 +1,54 @@
+"""Quickstart: estimate a multivariate trace with the multi-party SWAP test.
+
+Builds three random single-qubit mixed states, runs the constant-depth
+COMPAS-style circuit (Fig 2d), and compares the estimate against the exact
+trace tr(rho_1 rho_2 rho_3).  Then repeats the experiment on the fully
+distributed protocol, printing its Bell-pair ledger and locality audit.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import multiparty_swap_test, random_density_matrix
+from repro.core import build_compas
+from repro.core.cyclic_shift import multivariate_trace
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    states = [random_density_matrix(1, rng=rng) for _ in range(3)]
+    exact = multivariate_trace(states)
+    print(f"exact tr(rho1 rho2 rho3) = {exact:.4f}")
+
+    # Monolithic constant-depth circuit (the paper's Fig 2d variant).
+    result = multiparty_swap_test(states, shots=4000, variant="d", seed=1)
+    print(
+        f"monolithic estimate      = {result.estimate:.4f}"
+        f"  (stderr {result.stderr_re:.4f})"
+    )
+
+    # Fully distributed COMPAS protocol, one QPU per state.
+    result = multiparty_swap_test(
+        states, shots=2000, seed=2, backend="compas", design="teledata"
+    )
+    print(
+        f"distributed estimate     = {result.estimate:.4f}"
+        f"  (stderr {result.stderr_re:.4f})"
+    )
+
+    build = build_compas(3, 1, design="teledata", basis="x")
+    report = build.locality()
+    print(
+        f"\nCOMPAS build: {build.total_qubits} qubits over 3 QPUs, "
+        f"GHZ width {build.ghz_width}"
+    )
+    print(f"locality audit: local ops = {report.local_ops}, "
+          f"bell generations = {report.bell_generation_ops}, "
+          f"violations = {len(report.violations)}")
+    print("bell ledger:", build.program.ledger.summary())
+    print("stage depths:", build.stage_depths)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Virtual distillation: error mitigation with the SWAP test (Sec 6.3).
+
+A random pure target state is corrupted by a 30% depolarizing channel.
+Estimating <Z> directly on the noisy state is biased; estimating it in the
+multiplicative product state chi = rho^m / tr(rho^m) — two SWAP tests per
+point, numerator with a GHZ-controlled Z insertion — suppresses the bias
+exponentially in the copy count m [26].
+
+Run:  python examples/virtual_distillation.py
+"""
+
+import numpy as np
+
+from repro.apps import virtual_expectation, virtual_expectation_exact
+from repro.utils import noisy_pure_state
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    target, noisy = noisy_pure_state(1, noise=0.3, rng=rng)
+    z = np.diag([1.0, -1.0]).astype(complex)
+    ideal = float(np.real(np.vdot(target, z @ target)))
+    raw = float(np.real(np.trace(z @ noisy)))
+    print(f"target <Z>           = {ideal:+.4f}")
+    print(f"noisy state <Z>      = {raw:+.4f}   (bias {abs(raw - ideal):.4f})")
+    print()
+    print(f"{'copies m':>9} {'exact <Z>_chi':>14} {'estimated':>10} {'bias':>8}")
+    for copies in (2, 3, 4):
+        exact = virtual_expectation_exact(noisy, "Z", copies)
+        result = virtual_expectation(
+            noisy, "Z", copies, shots=12000, seed=copies, variant="d"
+        )
+        print(
+            f"{copies:>9} {exact:>14.4f} {result.value:>10.4f} "
+            f"{abs(exact - ideal):>8.4f}"
+        )
+    print("\nthe bias of the virtually distilled expectation shrinks with m,")
+    print("without ever preparing the purified state.")
+
+
+if __name__ == "__main__":
+    main()

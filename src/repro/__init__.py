@@ -1,0 +1,71 @@
+"""repro — reproduction of COMPAS (ASPLOS 2026).
+
+A from-scratch implementation of the distributed multi-party SWAP test of
+Goldstein-Gelb et al., including every substrate the paper relies on:
+circuit IR, statevector / density-matrix / stabilizer simulators, a
+distributed QPU network model with Bell-pair accounting, teleoperation
+primitives, the constant-depth Fanout, the COMPAS protocol itself, the
+paper's resource and noise analyses, and the Section 6 applications.
+
+Quickstart::
+
+    import numpy as np
+    from repro import multiparty_swap_test, random_density_matrix
+
+    states = [random_density_matrix(1) for _ in range(3)]
+    result = multiparty_swap_test(states, shots=20000, seed=7)
+    exact = np.trace(states[0] @ states[1] @ states[2])
+    print(result.estimate, exact)
+"""
+
+from .circuits import Circuit, Condition, Instruction
+from .sim import (
+    DensitySimulator,
+    NoiseModel,
+    Pauli,
+    PauliFrameSimulator,
+    StatevectorSimulator,
+    TableauSimulator,
+)
+from .utils import (
+    ghz_state,
+    random_density_matrix,
+    random_pure_state,
+    state_fidelity,
+    thermal_state,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Condition",
+    "Instruction",
+    "DensitySimulator",
+    "NoiseModel",
+    "Pauli",
+    "PauliFrameSimulator",
+    "StatevectorSimulator",
+    "TableauSimulator",
+    "ghz_state",
+    "random_density_matrix",
+    "random_pure_state",
+    "state_fidelity",
+    "thermal_state",
+    "multiparty_swap_test",
+    "MultivariateTraceResult",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Late imports avoid a circular dependency: repro.core imports repro.sim.
+    if name == "multiparty_swap_test":
+        from .core.estimator import multiparty_swap_test
+
+        return multiparty_swap_test
+    if name == "MultivariateTraceResult":
+        from .core.estimator import MultivariateTraceResult
+
+        return MultivariateTraceResult
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,67 @@
+"""Evaluation-section analyses: Table 4, Figures 9a/9b/9c, Figure 10."""
+
+from .blackbox import BlackboxCircuit, ErrorSampler, PrimitiveErrorModel
+from .cswap_fidelity import (
+    CswapFidelityResult,
+    build_blackbox_cswap,
+    cswap_classical_fidelity,
+    ideal_cswap_output,
+)
+from .fanout_errors import (
+    FanoutErrorReport,
+    build_fanout_circuit,
+    fanout_error_distribution,
+)
+from .ghz_fidelity import (
+    ghz_error_commutes,
+    ghz_fidelity_density,
+    ghz_fidelity_frames,
+    ghz_fidelity_sweep,
+)
+from .network import (
+    DISTILLATION_CODES,
+    QECCode,
+    bell_pair_depolarized,
+    logical_bell_error_rate,
+    max_parties,
+    remote_cnot_fidelity,
+    remote_cnot_fidelity_floor,
+    teleop_count,
+    teleop_fidelity_bound,
+    teleport_fidelity,
+    teleport_fidelity_floor,
+    total_fidelity_bound,
+)
+from .overall import OverallFidelityPoint, overall_fidelity_curve, overall_fidelity_estimate
+
+__all__ = [
+    "BlackboxCircuit",
+    "ErrorSampler",
+    "PrimitiveErrorModel",
+    "CswapFidelityResult",
+    "build_blackbox_cswap",
+    "cswap_classical_fidelity",
+    "ideal_cswap_output",
+    "FanoutErrorReport",
+    "build_fanout_circuit",
+    "fanout_error_distribution",
+    "ghz_error_commutes",
+    "ghz_fidelity_density",
+    "ghz_fidelity_frames",
+    "ghz_fidelity_sweep",
+    "DISTILLATION_CODES",
+    "QECCode",
+    "bell_pair_depolarized",
+    "logical_bell_error_rate",
+    "max_parties",
+    "remote_cnot_fidelity",
+    "remote_cnot_fidelity_floor",
+    "teleop_count",
+    "teleop_fidelity_bound",
+    "teleport_fidelity",
+    "teleport_fidelity_floor",
+    "total_fidelity_bound",
+    "OverallFidelityPoint",
+    "overall_fidelity_curve",
+    "overall_fidelity_estimate",
+]

@@ -1,0 +1,43 @@
+"""Section 6 applications: Rényi entropy, spectroscopy, virtual cooling/distillation, parallel QSP."""
+
+from .qsp import (
+    FactoredPolynomial,
+    apply_polynomial,
+    factor_polynomial,
+    parallel_qsp_trace_exact,
+    parallel_qsp_trace_sampled,
+)
+from .renyi import RenyiResult, estimate_renyi_entropy, renyi_entropy_exact
+from .spectroscopy import (
+    SpectroscopyResult,
+    entanglement_spectroscopy,
+    newton_girard_elementary,
+    spectrum_from_power_sums,
+)
+from .virtual import (
+    VirtualExpectationResult,
+    cooling_schedule_exact,
+    distillation_error_exact,
+    virtual_expectation,
+    virtual_expectation_exact,
+)
+
+__all__ = [
+    "FactoredPolynomial",
+    "apply_polynomial",
+    "factor_polynomial",
+    "parallel_qsp_trace_exact",
+    "parallel_qsp_trace_sampled",
+    "RenyiResult",
+    "estimate_renyi_entropy",
+    "renyi_entropy_exact",
+    "SpectroscopyResult",
+    "entanglement_spectroscopy",
+    "newton_girard_elementary",
+    "spectrum_from_power_sums",
+    "VirtualExpectationResult",
+    "cooling_schedule_exact",
+    "distillation_error_exact",
+    "virtual_expectation",
+    "virtual_expectation_exact",
+]

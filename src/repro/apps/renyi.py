@@ -1,0 +1,77 @@
+"""Rényi entropy estimation (paper Sec 6.1).
+
+For integer order m >= 2, ``S_m(rho) = log(tr(rho^m)) / (1 - m)``; the trace
+of the m-th power is exactly what the multi-party SWAP test computes on m
+copies of rho.  The distributed protocol therefore extends standard Rényi
+entropy measurement [23, 27, 57] to multi-QPU systems unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimator import MultivariateTraceResult, multiparty_swap_test
+
+__all__ = ["RenyiResult", "renyi_entropy_exact", "estimate_renyi_entropy"]
+
+
+@dataclass
+class RenyiResult:
+    """Estimated Rényi entropy plus the underlying trace estimate."""
+
+    order: int
+    entropy: float
+    trace_estimate: complex
+    trace_result: MultivariateTraceResult
+
+    @property
+    def purity(self) -> float:
+        """tr(rho^2)-style moment (the real part of the trace estimate)."""
+        return self.trace_estimate.real
+
+
+def renyi_entropy_exact(rho: np.ndarray, order: int) -> float:
+    """Exact S_m(rho) = log tr(rho^m) / (1 - m) for integer m >= 2."""
+    if order < 2:
+        raise ValueError("integer Rényi order must be >= 2")
+    eigenvalues = np.clip(np.linalg.eigvalsh(rho), 0.0, None)
+    moment = float(np.sum(eigenvalues**order))
+    return math.log(moment) / (1 - order)
+
+
+def estimate_renyi_entropy(
+    rho: np.ndarray,
+    order: int,
+    shots: int = 20000,
+    seed: int | None = None,
+    backend: str = "monolithic",
+    variant: str = "d",
+    design: str = "teledata",
+) -> RenyiResult:
+    """Estimate S_m(rho) with the (optionally distributed) SWAP test.
+
+    Runs the multi-party SWAP test on ``order`` copies of rho.  tr(rho^m)
+    is real and positive, so the real part of the estimate is used (clipped
+    away from zero to keep the logarithm finite at low shot counts).
+    """
+    if order < 2:
+        raise ValueError("integer Rényi order must be >= 2")
+    result = multiparty_swap_test(
+        [rho] * order,
+        shots=shots,
+        seed=seed,
+        backend=backend,
+        variant=variant,
+        design=design,
+    )
+    moment = max(result.estimate.real, 1e-9)
+    entropy = math.log(moment) / (1 - order)
+    return RenyiResult(
+        order=order,
+        entropy=entropy,
+        trace_estimate=result.estimate,
+        trace_result=result,
+    )

@@ -1,0 +1,17 @@
+"""Circuit IR: gates, circuits with classical feedback, and layer scheduling."""
+
+from .circuit import Circuit, Condition, Instruction
+from .gates import GATES, GateSpec, gate_matrix, is_clifford_gate
+from .moments import circuit_depth, circuit_moments
+
+__all__ = [
+    "Circuit",
+    "Condition",
+    "Instruction",
+    "GATES",
+    "GateSpec",
+    "gate_matrix",
+    "is_clifford_gate",
+    "circuit_depth",
+    "circuit_moments",
+]

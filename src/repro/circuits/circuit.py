@@ -1,0 +1,399 @@
+"""Gate-level circuit IR with mid-circuit measurement and classical feedback.
+
+This is the repository's substitute for Qiskit's ``QuantumCircuit``: the
+COMPAS constructions only need a fixed gate set, measurement into classical
+bits, reset, barriers, and Pauli corrections conditioned on the *parity* of a
+set of classical bits (the form every teleportation / fanout correction
+takes).
+
+A :class:`Circuit` is an ordered list of :class:`Instruction`.  Depth is
+computed by ASAP layering (see :mod:`repro.circuits.moments`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..utils.linalg import embed_operator
+from .gates import GATES, gate_matrix, inverse_gate
+
+__all__ = ["Condition", "Instruction", "Circuit"]
+
+#: Instruction names that are not unitary gates.
+NON_GATE_OPS = ("measure", "reset", "barrier")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """Classical parity condition: apply iff XOR of ``clbits`` equals ``value``."""
+
+    clbits: tuple[int, ...]
+    value: int = 1
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("condition value must be 0 or 1")
+        if not self.clbits:
+            raise ValueError("condition needs at least one classical bit")
+
+    def evaluate(self, bits: Sequence[int]) -> bool:
+        """Whether the condition holds for the given classical register."""
+        acc = 0
+        for c in self.clbits:
+            acc ^= bits[c] & 1
+        return acc == self.value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single operation: gate, measure, reset, or barrier."""
+
+    name: str
+    qubits: tuple[int, ...]
+    clbits: tuple[int, ...] = ()
+    params: tuple[float, ...] = ()
+    condition: Condition | None = None
+
+    @property
+    def is_gate(self) -> bool:
+        """Whether this instruction is a unitary gate application."""
+        return self.name not in NON_GATE_OPS
+
+
+class Circuit:
+    """A quantum circuit over ``num_qubits`` qubits and ``num_clbits`` classical bits."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "circuit"):
+        if num_qubits < 0 or num_clbits < 0:
+            raise ValueError("register sizes must be non-negative")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self.instructions: list[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        clbits: Sequence[int] = (),
+        params: Sequence[float] = (),
+        condition: Condition | None = None,
+    ) -> "Circuit":
+        """Append one instruction, validating indices and arity."""
+        qubits = tuple(qubits)
+        clbits = tuple(clbits)
+        params = tuple(params)
+        if name not in NON_GATE_OPS:
+            spec = GATES.get(name)
+            if spec is None:
+                raise KeyError(f"unknown gate {name!r}")
+            if len(qubits) != spec.num_qubits:
+                raise ValueError(
+                    f"gate {name} expects {spec.num_qubits} qubits, got {len(qubits)}"
+                )
+            if len(params) != spec.num_params:
+                raise ValueError(
+                    f"gate {name} expects {spec.num_params} params, got {len(params)}"
+                )
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"duplicate qubit in {name}: {qubits}")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise IndexError(f"qubit {q} out of range (have {self.num_qubits})")
+        for c in clbits:
+            if not 0 <= c < self.num_clbits:
+                raise IndexError(f"clbit {c} out of range (have {self.num_clbits})")
+        if condition is not None:
+            for c in condition.clbits:
+                if not 0 <= c < self.num_clbits:
+                    raise IndexError(f"condition clbit {c} out of range")
+        self.instructions.append(Instruction(name, qubits, clbits, params, condition))
+        return self
+
+    # Single-qubit gates -------------------------------------------------
+    def i(self, q: int, condition: Condition | None = None) -> "Circuit":
+        """Identity (explicit no-op placeholder)."""
+        return self.append("id", [q], condition=condition)
+
+    def x(self, q: int, condition: Condition | None = None) -> "Circuit":
+        """Pauli X."""
+        return self.append("x", [q], condition=condition)
+
+    def y(self, q: int, condition: Condition | None = None) -> "Circuit":
+        """Pauli Y."""
+        return self.append("y", [q], condition=condition)
+
+    def z(self, q: int, condition: Condition | None = None) -> "Circuit":
+        """Pauli Z."""
+        return self.append("z", [q], condition=condition)
+
+    def h(self, q: int, condition: Condition | None = None) -> "Circuit":
+        """Hadamard."""
+        return self.append("h", [q], condition=condition)
+
+    def s(self, q: int) -> "Circuit":
+        """Phase gate S."""
+        return self.append("s", [q])
+
+    def sdg(self, q: int) -> "Circuit":
+        """Inverse phase gate."""
+        return self.append("sdg", [q])
+
+    def t(self, q: int) -> "Circuit":
+        """T gate."""
+        return self.append("t", [q])
+
+    def tdg(self, q: int) -> "Circuit":
+        """Inverse T gate."""
+        return self.append("tdg", [q])
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        """X rotation."""
+        return self.append("rx", [q], params=[theta])
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        """Y rotation."""
+        return self.append("ry", [q], params=[theta])
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        """Z rotation."""
+        return self.append("rz", [q], params=[theta])
+
+    # Multi-qubit gates --------------------------------------------------
+    def cx(self, control: int, target: int, condition: Condition | None = None) -> "Circuit":
+        """CNOT."""
+        return self.append("cx", [control, target], condition=condition)
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        """Controlled-Z."""
+        return self.append("cz", [a, b])
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        """SWAP."""
+        return self.append("swap", [a, b])
+
+    def ccx(self, c0: int, c1: int, target: int) -> "Circuit":
+        """Toffoli."""
+        return self.append("ccx", [c0, c1, target])
+
+    def cswap(self, control: int, a: int, b: int) -> "Circuit":
+        """Fredkin (controlled-SWAP)."""
+        return self.append("cswap", [control, a, b])
+
+    # Non-unitary ---------------------------------------------------------
+    def measure(self, qubit: int, clbit: int) -> "Circuit":
+        """Z-basis measurement into a classical bit."""
+        return self.append("measure", [qubit], clbits=[clbit])
+
+    def reset(self, qubit: int) -> "Circuit":
+        """Reset a qubit to |0>."""
+        return self.append("reset", [qubit])
+
+    def barrier(self, qubits: Sequence[int] | None = None) -> "Circuit":
+        """Scheduling barrier across the given qubits (all if omitted)."""
+        qs = tuple(range(self.num_qubits)) if qubits is None else tuple(qubits)
+        self.instructions.append(Instruction("barrier", qs))
+        return self
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def compose(
+        self,
+        other: "Circuit",
+        qubit_map: Mapping[int, int] | Sequence[int] | None = None,
+        clbit_map: Mapping[int, int] | Sequence[int] | None = None,
+    ) -> "Circuit":
+        """Append ``other``'s instructions, relabelling via the given maps.
+
+        ``qubit_map`` maps *other*'s qubit indices into this circuit's; a
+        sequence is interpreted positionally.  Identity mapping by default.
+        """
+
+        def as_map(m, size: int) -> dict[int, int]:
+            if m is None:
+                return {i: i for i in range(size)}
+            if isinstance(m, Mapping):
+                return dict(m)
+            return {i: v for i, v in enumerate(m)}
+
+        qmap = as_map(qubit_map, other.num_qubits)
+        cmap = as_map(clbit_map, other.num_clbits)
+        for inst in other.instructions:
+            new_q = tuple(qmap[q] for q in inst.qubits)
+            new_c = tuple(cmap[c] for c in inst.clbits)
+            new_cond = None
+            if inst.condition is not None:
+                new_cond = Condition(
+                    tuple(cmap[c] for c in inst.condition.clbits), inst.condition.value
+                )
+            if inst.name == "barrier":
+                self.instructions.append(Instruction("barrier", new_q))
+            else:
+                self.append(inst.name, new_q, new_c, inst.params, new_cond)
+        return self
+
+    def inverse(self) -> "Circuit":
+        """Inverse circuit (unitary instructions only)."""
+        inv = Circuit(self.num_qubits, self.num_clbits, name=f"{self.name}_dg")
+        for inst in reversed(self.instructions):
+            if inst.name == "barrier":
+                inv.instructions.append(inst)
+                continue
+            if not inst.is_gate or inst.condition is not None:
+                raise ValueError("cannot invert a circuit with measurement/feedback")
+            name, params = inverse_gate(inst.name, inst.params)
+            inv.append(name, inst.qubits, params=params)
+        return inv
+
+    def copy(self) -> "Circuit":
+        """Shallow copy (instructions are immutable)."""
+        dup = Circuit(self.num_qubits, self.num_clbits, name=self.name)
+        dup.instructions = list(self.instructions)
+        return dup
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def count_ops(self) -> Counter:
+        """Histogram of instruction names (barriers excluded)."""
+        return Counter(i.name for i in self.instructions if i.name != "barrier")
+
+    def num_measurements(self) -> int:
+        """Number of measurement instructions."""
+        return sum(1 for i in self.instructions if i.name == "measure")
+
+    def qubits_used(self) -> set[int]:
+        """Set of qubits touched by any non-barrier instruction."""
+        used: set[int] = set()
+        for inst in self.instructions:
+            if inst.name != "barrier":
+                used.update(inst.qubits)
+        return used
+
+    def depth(self, count_measurements: bool = True) -> int:
+        """Circuit depth under ASAP scheduling (barriers synchronise)."""
+        from .moments import circuit_depth
+
+        return circuit_depth(self, count_measurements=count_measurements)
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of gates acting on two or more qubits."""
+        return sum(
+            1 for i in self.instructions if i.is_gate and len(i.qubits) >= 2 and i.name != "barrier"
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def to_unitary(self) -> np.ndarray:
+        """Full unitary of a measurement-free, condition-free circuit."""
+        dim = 2**self.num_qubits
+        unitary = np.eye(dim, dtype=complex)
+        for inst in self.instructions:
+            if inst.name == "barrier":
+                continue
+            if not inst.is_gate or inst.condition is not None:
+                raise ValueError(
+                    "to_unitary requires a purely unitary circuit; "
+                    f"found {inst.name} (condition={inst.condition})"
+                )
+            matrix = gate_matrix(inst.name, inst.params)
+            unitary = embed_operator(matrix, inst.qubits, self.num_qubits) @ unitary
+        return unitary
+
+    def defer_measurements(self) -> "Circuit":
+        """Rewrite measure+parity-feedback into coherent controls.
+
+        Returns an equivalent *unitary* circuit by the principle of deferred
+        measurement: each ``measure q -> c`` is dropped (the qubit itself now
+        carries the record) and each Pauli correction conditioned on a parity
+        of classical bits becomes a product of controlled-Paulis from the
+        measured qubits (valid because Pauli**2 = I, so the XOR exponent
+        distributes).
+
+        Requirements: each classical bit is written at most once, measured
+        qubits are never operated on again afterwards (no reuse/reset), and
+        every conditioned gate is a Pauli (x/y/z).
+        """
+        writer: dict[int, int] = {}
+        measured: set[int] = set()
+        out = Circuit(self.num_qubits, 0, name=f"{self.name}_deferred")
+        for inst in self.instructions:
+            if inst.name == "barrier":
+                out.instructions.append(Instruction("barrier", inst.qubits))
+                continue
+            if inst.name == "measure":
+                q, c = inst.qubits[0], inst.clbits[0]
+                if c in writer:
+                    raise ValueError(f"clbit {c} written twice; cannot defer")
+                writer[c] = q
+                measured.add(q)
+                continue
+            if inst.name == "reset":
+                raise ValueError("cannot defer measurements in a circuit with reset")
+            for q in inst.qubits:
+                if q in measured:
+                    raise ValueError(
+                        f"qubit {q} reused after measurement; cannot defer"
+                    )
+            if inst.condition is None:
+                out.append(inst.name, inst.qubits, params=inst.params)
+                continue
+            if inst.name not in ("x", "y", "z"):
+                raise ValueError(
+                    f"only Pauli feedback can be deferred, found {inst.name}"
+                )
+            target = inst.qubits[0]
+            controlled = {"x": "cx", "z": "cz"}
+            for c in inst.condition.clbits:
+                source = writer.get(c)
+                if source is None:
+                    raise ValueError(f"condition reads clbit {c} before it is written")
+                if inst.name == "y":
+                    # CY = S CX Sdg on the target.
+                    out.append("sdg", [target])
+                    out.append("cx", [source, target])
+                    out.append("s", [target])
+                else:
+                    out.append(controlled[inst.name], [source, target])
+            if inst.condition.value == 0:
+                # Condition met when parity is 0: complement with one more flip.
+                out.append(inst.name, [target], params=inst.params)
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def draw(self, max_width: int = 120) -> str:
+        """Crude text rendering, one line per instruction."""
+        lines = [f"{self.name}: {self.num_qubits} qubits, {self.num_clbits} clbits"]
+        for inst in self.instructions:
+            token = f"  {inst.name} q{list(inst.qubits)}"
+            if inst.clbits:
+                token += f" -> c{list(inst.clbits)}"
+            if inst.params:
+                token += f" ({', '.join(f'{p:.4g}' for p in inst.params)})"
+            if inst.condition is not None:
+                token += f" if parity(c{list(inst.condition.clbits)})=={inst.condition.value}"
+            lines.append(token[:max_width])
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"clbits={self.num_clbits}, ops={len(self.instructions)})"
+        )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterable[Instruction]:
+        return iter(self.instructions)

@@ -1,0 +1,169 @@
+"""Gate registry: names, arities, and unitary matrices.
+
+Conventions
+-----------
+* Qubit 0 is the most significant bit: a gate applied to qubits ``(a, b)``
+  has its matrix written in the ordered basis ``|ab>``.
+* Controlled gates list controls before targets, e.g. ``CX(control, target)``,
+  ``CCX(c0, c1, target)``, ``CSWAP(control, x, y)``.
+* Parameterised rotations take angles in radians.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "GateSpec",
+    "GATES",
+    "gate_matrix",
+    "is_clifford_gate",
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "CX_MATRIX",
+    "CZ_MATRIX",
+    "SWAP_MATRIX",
+    "CCX_MATRIX",
+    "CSWAP_MATRIX",
+]
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+TDG = T.conj().T
+
+CX_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+CZ_MATRIX = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def _permutation_matrix(dim: int, mapping: dict[int, int]) -> np.ndarray:
+    matrix = np.zeros((dim, dim), dtype=complex)
+    for col in range(dim):
+        matrix[mapping.get(col, col), col] = 1.0
+    return matrix
+
+
+# CCX: flip target (last qubit) when both controls are 1 -> swaps |110>,|111>.
+CCX_MATRIX = _permutation_matrix(8, {0b110: 0b111, 0b111: 0b110})
+# CSWAP: swap the two target qubits when control (first qubit) is 1.
+CSWAP_MATRIX = _permutation_matrix(8, {0b101: 0b110, 0b110: 0b101})
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[[Sequence[float]], np.ndarray]
+    clifford: bool
+
+    def matrix(self, params: Sequence[float] = ()) -> np.ndarray:
+        """Unitary matrix for the given parameters."""
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate {self.name} expects {self.num_params} params, got {len(params)}"
+            )
+        return self.matrix_fn(params)
+
+
+def _const(matrix: np.ndarray) -> Callable[[Sequence[float]], np.ndarray]:
+    def fn(_params: Sequence[float]) -> np.ndarray:
+        return matrix
+
+    return fn
+
+
+GATES: dict[str, GateSpec] = {
+    "id": GateSpec("id", 1, 0, _const(I2), True),
+    "x": GateSpec("x", 1, 0, _const(X), True),
+    "y": GateSpec("y", 1, 0, _const(Y), True),
+    "z": GateSpec("z", 1, 0, _const(Z), True),
+    "h": GateSpec("h", 1, 0, _const(H), True),
+    "s": GateSpec("s", 1, 0, _const(S), True),
+    "sdg": GateSpec("sdg", 1, 0, _const(SDG), True),
+    "t": GateSpec("t", 1, 0, _const(T), False),
+    "tdg": GateSpec("tdg", 1, 0, _const(TDG), False),
+    "rx": GateSpec("rx", 1, 1, lambda p: _rx(p[0]), False),
+    "ry": GateSpec("ry", 1, 1, lambda p: _ry(p[0]), False),
+    "rz": GateSpec("rz", 1, 1, lambda p: _rz(p[0]), False),
+    "cx": GateSpec("cx", 2, 0, _const(CX_MATRIX), True),
+    "cz": GateSpec("cz", 2, 0, _const(CZ_MATRIX), True),
+    "swap": GateSpec("swap", 2, 0, _const(SWAP_MATRIX), True),
+    "ccx": GateSpec("ccx", 3, 0, _const(CCX_MATRIX), False),
+    "cswap": GateSpec("cswap", 3, 0, _const(CSWAP_MATRIX), False),
+}
+
+_INVERSES = {
+    "s": "sdg",
+    "sdg": "s",
+    "t": "tdg",
+    "tdg": "t",
+}
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Unitary matrix of a registered gate."""
+    spec = GATES.get(name)
+    if spec is None:
+        raise KeyError(f"unknown gate {name!r}")
+    return spec.matrix(params)
+
+
+def is_clifford_gate(name: str) -> bool:
+    """Whether the named gate is in the Clifford group."""
+    spec = GATES.get(name)
+    if spec is None:
+        raise KeyError(f"unknown gate {name!r}")
+    return spec.clifford
+
+
+def inverse_gate(name: str, params: Sequence[float] = ()) -> tuple[str, tuple[float, ...]]:
+    """Name/params of the inverse of a registered gate."""
+    if name in _INVERSES:
+        return _INVERSES[name], tuple(params)
+    if name in ("rx", "ry", "rz"):
+        return name, (-params[0],)
+    spec = GATES.get(name)
+    if spec is None:
+        raise KeyError(f"unknown gate {name!r}")
+    # All remaining registered gates are self-inverse.
+    return name, tuple(params)

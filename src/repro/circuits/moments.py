@@ -1,0 +1,55 @@
+"""ASAP layering of circuits: moments and depth.
+
+Depth follows the standard convention: each instruction occupies one layer on
+every qubit it touches; an instruction is scheduled at one plus the latest
+busy layer among its qubits (and, for classically conditioned gates, among
+the measurements that produced the condition bits).  Barriers synchronise the
+qubits they span without occupying a layer.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit, Instruction
+
+__all__ = ["circuit_moments", "circuit_depth"]
+
+
+def circuit_moments(
+    circuit: Circuit, count_measurements: bool = True
+) -> list[list[Instruction]]:
+    """Group instructions into ASAP layers (barriers omitted from output)."""
+    qubit_free = [0] * circuit.num_qubits  # first layer index free for each qubit
+    clbit_ready = [0] * circuit.num_clbits  # layer after which each clbit is known
+    moments: dict[int, list[Instruction]] = {}
+
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            if inst.qubits:
+                sync = max(qubit_free[q] for q in inst.qubits)
+                for q in inst.qubits:
+                    qubit_free[q] = sync
+            continue
+        start = 0
+        for q in inst.qubits:
+            start = max(start, qubit_free[q])
+        if inst.condition is not None:
+            for c in inst.condition.clbits:
+                start = max(start, clbit_ready[c])
+        occupies = True
+        if inst.name == "measure" and not count_measurements:
+            occupies = False
+        if occupies:
+            moments.setdefault(start, []).append(inst)
+            end = start + 1
+        else:
+            end = start
+        for q in inst.qubits:
+            qubit_free[q] = end
+        for c in inst.clbits:
+            clbit_ready[c] = end
+    return [moments[k] for k in sorted(moments)]
+
+
+def circuit_depth(circuit: Circuit, count_measurements: bool = True) -> int:
+    """Number of ASAP layers in the circuit."""
+    return len(circuit_moments(circuit, count_measurements=count_measurements))

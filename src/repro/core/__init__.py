@@ -1,0 +1,59 @@
+"""COMPAS core: cyclic shift, GHZ prep, CSWAP designs, protocol, estimator."""
+
+from .compas import CompasBuild, build_compas
+from .cswap import DESIGNS, CswapReport, QpuWorkspace, alloc_workspace, two_party_cswap
+from .cyclic_shift import (
+    cyclic_shift_unitary,
+    induced_state_cycle,
+    interleaved_arrangement,
+    multivariate_trace,
+    permutation_unitary,
+    round_position_pairs,
+    slot_assignment,
+    trace_order,
+)
+from .estimator import (
+    MultivariateTraceResult,
+    assemble_initial_state,
+    exact_swap_test_expectation,
+    multiparty_swap_test,
+    run_swap_test_shots,
+    sample_pure_inputs,
+)
+from .ghz import GhzPlan, distributed_ghz, local_ghz_constant_depth, local_ghz_linear
+from .swap_test import VARIANTS, SwapTestBuild, build_monolithic_swap_test
+from .trace_sum import TraceSumResult, estimate_trace_sum, exact_trace_sum
+
+__all__ = [
+    "CompasBuild",
+    "build_compas",
+    "DESIGNS",
+    "CswapReport",
+    "QpuWorkspace",
+    "alloc_workspace",
+    "two_party_cswap",
+    "cyclic_shift_unitary",
+    "induced_state_cycle",
+    "interleaved_arrangement",
+    "multivariate_trace",
+    "permutation_unitary",
+    "round_position_pairs",
+    "slot_assignment",
+    "trace_order",
+    "MultivariateTraceResult",
+    "assemble_initial_state",
+    "exact_swap_test_expectation",
+    "multiparty_swap_test",
+    "run_swap_test_shots",
+    "sample_pure_inputs",
+    "GhzPlan",
+    "distributed_ghz",
+    "local_ghz_constant_depth",
+    "local_ghz_linear",
+    "VARIANTS",
+    "SwapTestBuild",
+    "build_monolithic_swap_test",
+    "TraceSumResult",
+    "estimate_trace_sum",
+    "exact_trace_sum",
+]

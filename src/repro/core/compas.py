@@ -1,0 +1,217 @@
+"""The COMPAS protocol: a fully distributed multi-party SWAP test (Sec 3).
+
+One QPU per state, arranged on a line in the interleaved order
+``1, k, 2, k-1, ...`` so that both CSWAP rounds touch only nearest
+neighbours (Fig 5).  Even-position QPUs host the ceil(k/2) GHZ control
+qubits, prepared in constant depth by :func:`~repro.core.ghz.distributed_ghz`
+(Fig 4).  Each controlled transposition runs the two-party CSWAP of the
+chosen design (telegate / teledata), and the GHZ register is finally read
+out in the X or Y basis.
+
+The build exposes the same duck-typed surface as the monolithic
+:class:`~repro.core.swap_test.SwapTestBuild`, so the shot estimator in
+:mod:`repro.core.estimator` drives both interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..network.program import DistributedProgram, LocalityReport
+from ..network.topology import Topology, line_topology
+from .cswap import DESIGNS, alloc_workspace, two_party_cswap
+from .cyclic_shift import interleaved_arrangement, round_position_pairs, slot_assignment
+from .ghz import distributed_ghz
+
+__all__ = ["CompasBuild", "build_compas"]
+
+
+@dataclass
+class CompasBuild:
+    """A constructed COMPAS protocol instance."""
+
+    program: DistributedProgram
+    k: int
+    n: int
+    design: str
+    ghz_qubits: tuple[int, ...]
+    position_registers: tuple[tuple[int, ...], ...]
+    user_of_position: tuple[int, ...]
+    basis: str | None
+    readout_clbits: tuple[int, ...] = ()
+    stage_depths: dict[str, int] = field(default_factory=dict)
+    bell_pairs_cswaps: int = 0
+    variant: str = "compas"
+
+    def circuit(self):
+        """The flat circuit across all QPUs."""
+        return self.program.build(name=f"compas_{self.design}")
+
+    @property
+    def ghz_width(self) -> int:
+        """Width of the distributed GHZ control register."""
+        return len(self.ghz_qubits)
+
+    @property
+    def total_qubits(self) -> int:
+        """All qubits across the machine."""
+        return self.program.machine.num_qubits
+
+    def locality(self) -> LocalityReport:
+        """Audit that only Bell generation spans QPUs."""
+        return self.program.audit_locality()
+
+    def resources(self) -> dict:
+        """Resource summary: Bell pairs, qubits, depth per stage."""
+        return {
+            "design": self.design,
+            "k": self.k,
+            "n": self.n,
+            "ghz_width": self.ghz_width,
+            "total_qubits": self.total_qubits,
+            "max_qubits_per_qpu": self.program.machine.max_qubits_per_qpu(),
+            "bell_pairs": self.program.ledger.summary(),
+            "bell_pairs_cswaps": self.bell_pairs_cswaps,
+            "stage_depths": dict(self.stage_depths),
+        }
+
+
+def build_compas(
+    k: int,
+    n: int,
+    design: str = "teledata",
+    basis: str | None = None,
+    topology: Topology | None = None,
+    reset_ancillas: bool = True,
+    observable: str | None = None,
+) -> CompasBuild:
+    """Build the distributed k-party SWAP test over n-qubit states.
+
+    ``topology`` defaults to a line over QPUs ``qpu0 .. qpu{k-1}`` in
+    interleaved position order.  ``basis`` as in the monolithic builder.
+    """
+    if design not in DESIGNS:
+        raise ValueError(f"design must be one of {DESIGNS}")
+    if basis not in (None, "x", "y"):
+        raise ValueError("basis must be None, 'x', or 'y'")
+    if k < 2:
+        raise ValueError("need at least two parties")
+    if n < 1:
+        raise ValueError("states need at least one qubit")
+
+    qpu_names = [f"qpu{p}" for p in range(k)]
+    if topology is None:
+        topology = line_topology(qpu_names)
+    program = DistributedProgram(topology)
+
+    registers = tuple(
+        tuple(program.alloc(qpu_names[p], "state", n)) for p in range(k)
+    )
+    arrangement = interleaved_arrangement(k)
+    assignment = slot_assignment(k)
+    user_of_position = tuple(assignment[arrangement[p]] for p in range(k))
+
+    controller_positions = list(range(0, k, 2))
+    workspaces = {}
+    for p in range(k):
+        workspaces[p] = alloc_workspace(
+            program,
+            qpu_names[p],
+            n,
+            design,
+            is_controller=(p in controller_positions),
+        )
+
+    stage_depths: dict[str, int] = {}
+    mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 1: distributed GHZ across the controller QPUs (Fig 4).
+    # ------------------------------------------------------------------
+    ghz_plan = distributed_ghz(
+        program,
+        [qpu_names[p] for p in controller_positions],
+        reset_ancillas=reset_ancillas,
+    )
+    ghz_of_position = dict(zip(controller_positions, ghz_plan.members))
+    stage_depths["ghz_prep"] = program.build_range(mark, program.cursor()).depth()
+    mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 2: two rounds of distributed controlled transpositions.
+    # ------------------------------------------------------------------
+    round1, round2 = round_position_pairs(k)
+    bells = 0
+    for round_index, pairs in enumerate((round1, round2)):
+        for a, b in pairs:
+            alice_pos = a if round_index == 0 else b
+            bob_pos = b if round_index == 0 else a
+            control = ghz_of_position[alice_pos]
+            report = two_party_cswap(
+                program,
+                control,
+                registers[alice_pos],
+                registers[bob_pos],
+                workspaces[alice_pos],
+                workspaces[bob_pos],
+                design=design,
+                reset_ancillas=reset_ancillas,
+            )
+            bells += report.bell_pairs
+        stage_depths[f"cswap_round{round_index + 1}"] = program.build_range(
+            mark, program.cursor()
+        ).depth()
+        mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 2b: optional GHZ-controlled observable (virtual cooling, Eq 10).
+    # The position-0 GHZ member and register are co-located, so this stays
+    # a purely local controlled-Pauli.
+    # ------------------------------------------------------------------
+    if observable is not None:
+        if len(observable) != n:
+            raise ValueError("observable label must have one Pauli per state qubit")
+        control = ghz_of_position[0]
+        for l, ch in enumerate(observable.upper()):
+            target = registers[0][l]
+            if ch == "I":
+                continue
+            if ch == "X":
+                program.cx(control, target)
+            elif ch == "Z":
+                program.cz(control, target)
+            elif ch == "Y":
+                program.sdg(target)
+                program.cx(control, target)
+                program.s(target)
+            else:
+                raise ValueError(f"invalid Pauli character {ch!r} in observable")
+        stage_depths["observable"] = program.build_range(mark, program.cursor()).depth()
+        mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 3: GHZ readout.
+    # ------------------------------------------------------------------
+    readout: list[int] = []
+    if basis is not None:
+        members = list(ghz_plan.members)
+        if basis == "y":
+            program.sdg(members[0])
+        for g in members:
+            program.h(g)
+        readout = [program.measure(g) for g in members]
+        stage_depths["readout"] = program.build_range(mark, program.cursor()).depth()
+
+    return CompasBuild(
+        program=program,
+        k=k,
+        n=n,
+        design=design,
+        ghz_qubits=tuple(ghz_plan.members),
+        position_registers=registers,
+        user_of_position=user_of_position,
+        basis=basis,
+        readout_clbits=tuple(readout),
+        stage_depths=stage_depths,
+        bell_pairs_cswaps=bells,
+    )

@@ -1,0 +1,229 @@
+"""Two-party controlled-SWAP: the telegate and teledata designs (Fig 6).
+
+Alice holds the control qubit and an n-qubit register x; Bob holds an
+n-qubit register y.  Both designs implement CSWAP(control; x, y) using only
+local gates, pre-shared Bell pairs, and classical messages:
+
+* **telegate** (Sec 3.3): CSWAP = CX(y,x) . CCX(c,x,y) . CX(y,x); the CX
+  layers become teleported CNOTs (one Bell pair each, 2n per round) and the
+  Toffoli layer becomes teleported Toffolis via a local AND ancilla (one
+  Bell pair each, n per round) whose local shared-control Toffolis are
+  parallelised by Fanout.
+* **teledata** (Sec 3.4): teleport y to Alice (n Bell pairs), perform the
+  CSWAP locally with the Fanout bank, teleport it back (n Bell pairs).
+
+Each QPU owns a :class:`QpuWorkspace` of reusable scratch qubits (Bell
+slots, fanout ancillas, AND/destination ancillas); every teleoperation
+resets what it consumed, so one workspace serves both CSWAP rounds —
+the paper's Sec 3.6 qubit-reuse discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..fanout.fanout import fanout_ancillas_required
+from ..fanout.parallel_toffoli import (
+    append_parallel_cswap,
+    append_parallel_toffoli_bank,
+)
+from ..network.program import DistributedProgram
+from ..teleport.teledata import teleport_qubit
+from ..teleport.telegate import cat_disentangle, cat_entangle
+
+__all__ = ["QpuWorkspace", "CswapReport", "alloc_workspace", "two_party_cswap", "DESIGNS"]
+
+DESIGNS = ("telegate", "teledata")
+
+
+@dataclass
+class QpuWorkspace:
+    """Reusable scratch registers on one QPU."""
+
+    qpu: str
+    n: int
+    fanout: list[int] = field(default_factory=list)
+    and_ancillas: list[int] = field(default_factory=list)
+    bell_slots: list[int] = field(default_factory=list)
+    dest: list[int] = field(default_factory=list)
+
+    def scratch_qubits(self) -> list[int]:
+        """Every scratch qubit in the workspace."""
+        return self.fanout + self.and_ancillas + self.bell_slots + self.dest
+
+
+def alloc_workspace(
+    program: DistributedProgram,
+    qpu: str,
+    n: int,
+    design: str,
+    is_controller: bool,
+    suffix: str = "",
+) -> QpuWorkspace:
+    """Allocate the scratch a QPU needs for its CSWAP roles.
+
+    Controllers (Alice role) need fanout ancillas plus design-specific
+    scratch; every QPU needs Bell slots for the teleoperations it joins.
+    """
+    if design not in DESIGNS:
+        raise ValueError(f"design must be one of {DESIGNS}")
+    ws = QpuWorkspace(qpu=qpu, n=n)
+    ws.bell_slots = program.alloc(qpu, f"bell_slots{suffix}", n)
+    if is_controller:
+        ws.fanout = program.alloc(qpu, f"fanout{suffix}", fanout_ancillas_required(n))
+        if design == "telegate":
+            ws.and_ancillas = program.alloc(qpu, f"and{suffix}", n)
+        else:
+            ws.dest = program.alloc(qpu, f"dest{suffix}", n)
+    return ws
+
+
+@dataclass
+class CswapReport:
+    """What one two-party CSWAP consumed."""
+
+    design: str
+    bell_pairs: int
+    n: int
+
+
+def two_party_cswap(
+    program: DistributedProgram,
+    control: int,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    alice_ws: QpuWorkspace,
+    bob_ws: QpuWorkspace,
+    design: str = "teledata",
+    reset_ancillas: bool = True,
+) -> CswapReport:
+    """CSWAP(control; x, y) across two QPUs.
+
+    ``control`` and ``xs`` live on Alice's QPU (= ``alice_ws.qpu``); ``ys``
+    on Bob's.  Returns the Bell-pair count consumed (3n telegate / 2n
+    teledata — Table 3 rows a, b per round).
+    """
+    n = len(xs)
+    if len(ys) != n:
+        raise ValueError("register width mismatch")
+    if design not in DESIGNS:
+        raise ValueError(f"design must be one of {DESIGNS}")
+    alice = alice_ws.qpu
+    bob = bob_ws.qpu
+    if program.machine.owner(control) != alice:
+        raise ValueError("control must live on Alice's QPU")
+    for q in xs:
+        if program.machine.owner(q) != alice:
+            raise ValueError("x register must live on Alice's QPU")
+    for q in ys:
+        if program.machine.owner(q) != bob:
+            raise ValueError("y register must live on Bob's QPU")
+
+    if design == "teledata":
+        bells = _teledata_cswap(program, control, xs, ys, alice_ws, bob_ws, reset_ancillas)
+    else:
+        bells = _telegate_cswap(program, control, xs, ys, alice_ws, bob_ws, reset_ancillas)
+    return CswapReport(design=design, bell_pairs=bells, n=n)
+
+
+# ----------------------------------------------------------------------
+def _teledata_cswap(
+    program: DistributedProgram,
+    control: int,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    alice_ws: QpuWorkspace,
+    bob_ws: QpuWorkspace,
+    reset_ancillas: bool,
+) -> int:
+    n = len(xs)
+    bells = 0
+    # (1) Bob teleports y to Alice's destination ancillas (n Bell pairs);
+    # the Bell pairs' remote halves *are* the destination register.
+    for l in range(n):
+        program.create_bell_pair(bob_ws.bell_slots[l], alice_ws.dest[l], purpose="teledata-in")
+        bells += 1
+        teleport_qubit(
+            program,
+            source=ys[l],
+            bell_local=bob_ws.bell_slots[l],
+            bell_remote=alice_ws.dest[l],
+        )
+    # (2) Local constant-depth CSWAP on Alice.
+    append_parallel_cswap(
+        program,
+        control,
+        list(xs),
+        list(alice_ws.dest),
+        alice_ws.fanout,
+        reset_ancillas=reset_ancillas,
+    )
+    # (3) Teleport back onto Bob's (now reset) original qubits.
+    for l in range(n):
+        program.create_bell_pair(alice_ws.bell_slots[l], ys[l], purpose="teledata-out")
+        bells += 1
+        teleport_qubit(
+            program,
+            source=alice_ws.dest[l],
+            bell_local=alice_ws.bell_slots[l],
+            bell_remote=ys[l],
+        )
+    return bells
+
+
+def _remote_cx_layer(
+    program: DistributedProgram,
+    controls: Sequence[int],
+    targets: Sequence[int],
+    control_ws: QpuWorkspace,
+    target_ws: QpuWorkspace,
+) -> int:
+    """Parallel teleported CNOTs control_l -> target_l (one Bell pair each)."""
+    bells = 0
+    for l, (c, t) in enumerate(zip(controls, targets)):
+        program.create_bell_pair(
+            control_ws.bell_slots[l], target_ws.bell_slots[l], purpose="telegate-cx"
+        )
+        bells += 1
+        link = cat_entangle(
+            program, c, control_ws.bell_slots[l], target_ws.bell_slots[l]
+        )
+        program.cx(link.mirror, t)
+        cat_disentangle(program, link)
+    return bells
+
+
+def _telegate_cswap(
+    program: DistributedProgram,
+    control: int,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    alice_ws: QpuWorkspace,
+    bob_ws: QpuWorkspace,
+    reset_ancillas: bool,
+) -> int:
+    n = len(xs)
+    bells = 0
+    # (1) CX(y_l -> x_l): control on Bob, target on Alice.
+    bells += _remote_cx_layer(program, ys, xs, bob_ws, alice_ws)
+    # (2) CCX(control, x_l -> y_l): compute AND locally (Fanout bank),
+    # drive remote CNOTs, uncompute.
+    append_parallel_toffoli_bank(
+        program,
+        control,
+        list(zip(xs, alice_ws.and_ancillas)),
+        alice_ws.fanout,
+        reset_ancillas=reset_ancillas,
+    )
+    bells += _remote_cx_layer(program, alice_ws.and_ancillas, ys, alice_ws, bob_ws)
+    append_parallel_toffoli_bank(
+        program,
+        control,
+        list(zip(xs, alice_ws.and_ancillas)),
+        alice_ws.fanout,
+        reset_ancillas=reset_ancillas,
+    )
+    # (3) CX(y_l -> x_l) again.
+    bells += _remote_cx_layer(program, ys, xs, bob_ws, alice_ws)
+    return bells

@@ -1,0 +1,164 @@
+"""Cyclic shift W_sigma and its two-round transposition decomposition.
+
+The multi-party SWAP test measures the expectation of the cyclic-shift
+unitary W_sigma on rho_1 x ... x rho_k (paper Eq. 3).  COMPAS implements the
+controlled version of W_sigma as two rounds of *disjoint* controlled-SWAPs
+between neighbours in the interleaved arrangement ``1, k, 2, k-1, ...``
+(Sec 3.2 / Fig 5): a k-cycle is the product of two reflections of the k-gon,
+and the interleaving maps both reflections onto nearest-neighbour
+transpositions.  This module owns that combinatorics, plus exact
+linear-algebra references used by every correctness test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "interleaved_arrangement",
+    "round_position_pairs",
+    "induced_state_cycle",
+    "permutation_unitary",
+    "cyclic_shift_unitary",
+    "multivariate_trace",
+    "trace_order",
+    "slot_assignment",
+]
+
+
+def interleaved_arrangement(k: int) -> list[int]:
+    """Positions -> state indices in the order ``0, k-1, 1, k-2, 2, ...``.
+
+    Example (k=6): ``[0, 5, 1, 4, 2, 3]`` — the paper's ``1, k, 2, k-1, ...``
+    written 0-based.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    low, high = 0, k - 1
+    out: list[int] = []
+    while low <= high:
+        out.append(low)
+        if low != high:
+            out.append(high)
+        low += 1
+        high -= 1
+    return out
+
+
+def round_position_pairs(k: int) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """Adjacent position pairs swapped in rounds 1 and 2.
+
+    Round 1 swaps positions (0,1), (2,3), ...; round 2 swaps (1,2), (3,4),
+    ... — no wrap-around, giving k-1 transpositions total (Sec 5.4).
+    """
+    round1 = [(p, p + 1) for p in range(0, k - 1, 2)]
+    round2 = [(p, p + 1) for p in range(1, k - 1, 2)]
+    return round1, round2
+
+
+def induced_state_cycle(k: int) -> list[int]:
+    """Permutation on *state indices* realised by the two swap rounds.
+
+    Returns ``perm`` with ``perm[i] = j`` meaning state i's slot content
+    moves to where state j started; the result is always a single k-cycle.
+    """
+    arrangement = interleaved_arrangement(k)
+    # position -> current state occupying it
+    occupant = list(arrangement)
+    round1, round2 = round_position_pairs(k)
+    for a, b in round1:
+        occupant[a], occupant[b] = occupant[b], occupant[a]
+    for a, b in round2:
+        occupant[a], occupant[b] = occupant[b], occupant[a]
+    # State at position p moved from arrangement[p]'s slot to occupant[p]'s
+    # slot; express as a mapping on state labels.
+    perm = [0] * k
+    for p in range(k):
+        perm[occupant[p]] = arrangement[p]
+    return perm
+
+
+def trace_order(k: int) -> list[int]:
+    """Slot ordering such that the rounds estimate tr(rho_{o0} rho_{o1} ...).
+
+    For a factor permutation pi (factor i sent to slot pi(i)),
+    ``tr(W_pi rho_0 x ... x rho_{k-1}) = tr(prod along the *inverse* cycle)``:
+    with pi(i) = i+1 the estimated quantity is tr(rho_0 rho_{k-1} ... rho_1).
+    """
+    perm = induced_state_cycle(k)
+    inverse = [0] * k
+    for i, p in enumerate(perm):
+        inverse[p] = i
+    order = [0]
+    while len(order) < k:
+        order.append(inverse[order[-1]])
+    return order
+
+
+def slot_assignment(k: int) -> list[int]:
+    """User-state index to load into each slot so the protocol estimates
+    tr(rho_0 rho_1 ... rho_{k-1}) in the user's order.
+
+    ``slot_assignment(k)[s]`` is the user index whose state is placed in
+    slot s.  Derived by inverting :func:`trace_order`.
+    """
+    order = trace_order(k)
+    assignment = [0] * k
+    for position, slot in enumerate(order):
+        assignment[slot] = position
+    return assignment
+
+
+def permutation_unitary(perm: Sequence[int], dims: Sequence[int]) -> np.ndarray:
+    """Unitary permuting tensor factors: factor i is sent to slot perm[i].
+
+    ``dims[i]`` is the dimension of factor i.  Acts as
+    ``W |x_0, ..., x_{k-1}> = |y_0, ..., y_{k-1}>`` with ``y_{perm[i]} = x_i``.
+    """
+    perm = list(perm)
+    k = len(perm)
+    if sorted(perm) != list(range(k)) or len(dims) != k:
+        raise ValueError("perm must be a permutation matching dims")
+    total = int(np.prod(dims))
+    matrix = np.zeros((total, total), dtype=complex)
+    # Slot j receives factor inverse[j], so its dimension is dims[inverse[j]].
+    inverse = [0] * k
+    for i, p in enumerate(perm):
+        inverse[p] = i
+    out_dims = [dims[inverse[j]] for j in range(k)]
+    for col in range(total):
+        rem = col
+        digits = []
+        for d in reversed(dims):
+            digits.append(rem % d)
+            rem //= d
+        digits.reverse()  # digits[i] = x_i
+        out_digits = [0] * k
+        for i in range(k):
+            out_digits[perm[i]] = digits[i]
+        row = 0
+        for j in range(k):
+            row = row * out_dims[j] + out_digits[j]
+        matrix[row, col] = 1.0
+    return matrix
+
+
+def cyclic_shift_unitary(k: int, n: int) -> np.ndarray:
+    """W for the permutation the COMPAS rounds induce, factors of n qubits."""
+    perm = induced_state_cycle(k)
+    return permutation_unitary(perm, [2**n] * k)
+
+
+def multivariate_trace(states: Sequence[np.ndarray], order: Sequence[int] | None = None) -> complex:
+    """Exact tr(prod states[order]) — the protocol's ground truth."""
+    states = list(states)
+    if order is None:
+        order = range(len(states))
+    product = None
+    for index in order:
+        product = states[index] if product is None else product @ states[index]
+    if product is None:
+        raise ValueError("need at least one state")
+    return complex(np.trace(product))

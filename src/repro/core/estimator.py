@@ -1,0 +1,315 @@
+"""Trace estimation from SWAP-test measurements.
+
+The readout statistics of the GHZ register determine the multivariate trace
+(Sec 2.3): with the joint state (|0...0>|psi> + |1...1> W|psi>)/sqrt(2),
+
+* the X^(x)m parity equals  Re tr(W rho),
+* replacing the first X by Y equals  Im tr(W rho).
+
+``multiparty_swap_test`` is the library's front door: it builds the chosen
+variant, samples eigenvector trajectories for mixed inputs, runs the X- and
+Y-basis circuits, and returns a :class:`MultivariateTraceResult`.  The exact
+(shot-free) path used throughout the test-suite evaluates the same circuits
+as unitaries and sums over the input states' eigen-decompositions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..sim.noisemodel import NoiseModel
+from ..sim.statevector import StatevectorSimulator, apply_gate
+from ..utils.linalg import kron_all
+from .cyclic_shift import multivariate_trace
+from .swap_test import SwapTestBuild, build_monolithic_swap_test
+
+__all__ = [
+    "MultivariateTraceResult",
+    "assemble_initial_state",
+    "sample_pure_inputs",
+    "run_swap_test_shots",
+    "exact_swap_test_expectation",
+    "multiparty_swap_test",
+]
+
+
+@dataclass
+class MultivariateTraceResult:
+    """Estimated multivariate trace with statistics and resource info."""
+
+    estimate: complex
+    stderr_re: float
+    stderr_im: float
+    shots_re: int
+    shots_im: int
+    k: int
+    n: int
+    variant: str
+    resources: dict = field(default_factory=dict)
+
+    @property
+    def real(self) -> float:
+        """Re tr(rho_1 ... rho_k)."""
+        return self.estimate.real
+
+    @property
+    def imag(self) -> float:
+        """Im tr(rho_1 ... rho_k)."""
+        return self.estimate.imag
+
+    def within(self, exact: complex, sigmas: float = 5.0) -> bool:
+        """Whether ``exact`` lies within ``sigmas`` standard errors."""
+        margin_re = sigmas * max(self.stderr_re, 1e-12)
+        margin_im = sigmas * max(self.stderr_im, 1e-12)
+        return (
+            abs(self.estimate.real - exact.real) <= margin_re
+            and abs(self.estimate.imag - exact.imag) <= margin_im
+        )
+
+
+def assemble_initial_state(
+    num_qubits: int, placements: Mapping[tuple[int, ...], np.ndarray]
+) -> np.ndarray:
+    """Tensor statevectors into a full register, |0> elsewhere.
+
+    Each key is a tuple of *contiguous ascending* global qubit indices; the
+    value is the statevector to load there.
+    """
+    segments: list[tuple[int, np.ndarray]] = []
+    for qubits, vector in placements.items():
+        qubits = tuple(qubits)
+        if list(qubits) != list(range(qubits[0], qubits[0] + len(qubits))):
+            raise ValueError(f"register {qubits} is not contiguous ascending")
+        vector = np.asarray(vector, dtype=complex)
+        if vector.shape != (2 ** len(qubits),):
+            raise ValueError("placement vector has wrong dimension")
+        segments.append((qubits[0], vector))
+    segments.sort()
+    parts: list[np.ndarray] = []
+    cursor = 0
+    zero = np.array([1.0, 0.0], dtype=complex)
+    for start, vector in segments:
+        if start < cursor:
+            raise ValueError("overlapping placements")
+        while cursor < start:
+            parts.append(zero)
+            cursor += 1
+        parts.append(vector)
+        cursor += int(math.log2(len(vector)))
+    while cursor < num_qubits:
+        parts.append(zero)
+        cursor += 1
+    if cursor != num_qubits:
+        raise ValueError("placements exceed the register")
+    return kron_all(parts)
+
+
+def sample_pure_inputs(
+    states: Sequence[np.ndarray], rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Draw one pure state per input from each state's eigen-decomposition.
+
+    Density matrices are convex mixtures of their eigenvectors, so sampling
+    eigenvectors with eigenvalue weights gives an unbiased trajectory
+    unravelling of the mixed-state protocol.
+    """
+    out = []
+    for rho in states:
+        rho = np.asarray(rho, dtype=complex)
+        if rho.ndim == 1:
+            out.append(rho)
+            continue
+        weights, vectors = np.linalg.eigh(rho)
+        weights = np.clip(np.real(weights), 0.0, None)
+        weights = weights / weights.sum()
+        choice = rng.choice(len(weights), p=weights)
+        out.append(vectors[:, choice])
+    return out
+
+
+def _eigen_ensembles(
+    states: Sequence[np.ndarray],
+) -> list[list[tuple[float, np.ndarray]]]:
+    ensembles = []
+    for rho in states:
+        rho = np.asarray(rho, dtype=complex)
+        if rho.ndim == 1:
+            ensembles.append([(1.0, rho)])
+            continue
+        weights, vectors = np.linalg.eigh(rho)
+        ensemble = [
+            (float(w), vectors[:, i])
+            for i, w in enumerate(np.real(weights))
+            if w > 1e-12
+        ]
+        ensembles.append(ensemble)
+    return ensembles
+
+
+def run_swap_test_shots(
+    build: SwapTestBuild,
+    states: Sequence[np.ndarray],
+    shots: int,
+    rng: np.random.Generator,
+    noise: NoiseModel | None = None,
+) -> tuple[float, float]:
+    """Run ``shots`` trajectories of a built (readout-carrying) circuit.
+
+    Returns ``(mean_parity, stderr)`` where parity is the +-1 product of the
+    GHZ-register outcomes.
+    """
+    if build.basis is None:
+        raise ValueError("build must include a readout basis")
+    circuit = build.circuit()
+    simulator = StatevectorSimulator(seed=int(rng.integers(2**63)), noise=noise)
+    total = 0.0
+    total_sq = 0.0
+    for _ in range(shots):
+        pure = sample_pure_inputs(states, rng)
+        placements = {
+            build.position_registers[p]: pure[build.user_of_position[p]]
+            for p in range(build.k)
+        }
+        init = assemble_initial_state(circuit.num_qubits, placements)
+        result = simulator.run(circuit, initial_state=init)
+        parity = 0
+        for clbit in build.readout_clbits:
+            parity ^= result.clbits[clbit]
+        value = 1.0 - 2.0 * parity
+        total += value
+        total_sq += value * value
+    mean = total / shots
+    variance = max(total_sq / shots - mean * mean, 0.0)
+    stderr = math.sqrt(variance / shots)
+    return mean, stderr
+
+
+def _ghz_observable(build: SwapTestBuild, which: str) -> np.ndarray:
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+    ops = [y if (which == "y" and i == 0) else x for i in range(build.ghz_width)]
+    return kron_all(ops)
+
+
+def exact_swap_test_expectation(
+    states: Sequence[np.ndarray],
+    variant: str = "b",
+    ghz_mode: str = "linear",
+    observable: str | None = None,
+) -> complex:
+    """Shot-free reference: exact tr(rho_1 ... rho_k) via the circuit itself.
+
+    Builds the measurement-free variant (default 'b': plain CSWAP gates, no
+    mid-circuit measurement), evaluates <X...X> and <Y X...X> on the GHZ
+    register exactly, and sums over the eigen-decomposition of every mixed
+    input.  Used by tests to prove the circuit computes the right quantity.
+    """
+    k = len(states)
+    states = [np.asarray(s, dtype=complex) for s in states]
+    n = int(math.log2(states[0].shape[0]))
+    build = build_monolithic_swap_test(
+        k, n, variant=variant, basis=None, ghz_mode=ghz_mode, observable=observable
+    )
+    circuit = build.circuit()
+    if circuit.num_measurements():
+        raise ValueError("exact path requires a measurement-free variant")
+    simulator = StatevectorSimulator(seed=0)
+    obs_x = _ghz_observable(build, "x")
+    obs_y = _ghz_observable(build, "y")
+    ensembles = _eigen_ensembles(states)
+
+    def recurse(index: int, weight: float, chosen: list[np.ndarray]) -> complex:
+        if index == k:
+            placements = {
+                build.position_registers[p]: chosen[build.user_of_position[p]]
+                for p in range(k)
+            }
+            init = assemble_initial_state(circuit.num_qubits, placements)
+            final = simulator.run(circuit, initial_state=init).statevector
+            ghz = list(build.ghz_qubits)
+            val_x = np.vdot(final, apply_gate(final.copy(), obs_x, ghz, circuit.num_qubits))
+            val_y = np.vdot(final, apply_gate(final.copy(), obs_y, ghz, circuit.num_qubits))
+            return weight * complex(val_x.real, val_y.real)
+        total = 0.0 + 0.0j
+        for w, vector in ensembles[index]:
+            total += recurse(index + 1, weight * w, chosen + [vector])
+        return total
+
+    return recurse(0, 1.0, [])
+
+
+def multiparty_swap_test(
+    states: Sequence[np.ndarray],
+    shots: int = 20000,
+    variant: str = "d",
+    seed: int | None = None,
+    noise: NoiseModel | None = None,
+    ghz_mode: str = "linear",
+    backend: str = "monolithic",
+    design: str = "teledata",
+    observable: str | None = None,
+) -> MultivariateTraceResult:
+    """Estimate tr(rho_1 rho_2 ... rho_k) with the multi-party SWAP test.
+
+    ``states`` are density matrices (or pure statevectors) of equal width.
+    Half the shots are spent in the X basis (real part), half in the Y basis
+    (imaginary part).  ``backend`` selects the monolithic Fig-2 circuit
+    (``variant`` picks which) or the fully distributed COMPAS protocol
+    (``design`` picks telegate/teledata).
+    """
+    states = [np.asarray(s, dtype=complex) for s in states]
+    k = len(states)
+    if k < 2:
+        raise ValueError("need at least two states")
+    dim = states[0].shape[0]
+    if any(s.shape[0] != dim for s in states):
+        raise ValueError("all states must have equal width")
+    n = int(math.log2(dim))
+    if 2**n != dim:
+        raise ValueError("state dimension must be a power of two")
+    rng = np.random.default_rng(seed)
+    shots_re = shots // 2
+    shots_im = shots - shots_re
+
+    if backend == "monolithic":
+        build_x = build_monolithic_swap_test(
+            k, n, variant=variant, basis="x", ghz_mode=ghz_mode, observable=observable
+        )
+        build_y = build_monolithic_swap_test(
+            k, n, variant=variant, basis="y", ghz_mode=ghz_mode, observable=observable
+        )
+        label = variant
+        resources = {
+            "backend": backend,
+            "ghz_width": build_x.ghz_width,
+            "total_qubits": build_x.total_qubits,
+            "stage_depths": build_x.stage_depths,
+        }
+    elif backend == "compas":
+        from .compas import build_compas
+
+        build_x = build_compas(k, n, design=design, basis="x")
+        build_y = build_compas(k, n, design=design, basis="y")
+        label = f"compas-{design}"
+        resources = {"backend": backend, **build_x.resources()}
+    else:
+        raise ValueError("backend must be 'monolithic' or 'compas'")
+
+    mean_x, err_x = run_swap_test_shots(build_x, states, shots_re, rng, noise=noise)
+    mean_y, err_y = run_swap_test_shots(build_y, states, shots_im, rng, noise=noise)
+
+    return MultivariateTraceResult(
+        estimate=complex(mean_x, mean_y),
+        stderr_re=err_x,
+        stderr_im=err_y,
+        shots_re=shots_re,
+        shots_im=shots_im,
+        k=k,
+        n=n,
+        variant=label,
+        resources=resources,
+    )

@@ -1,0 +1,229 @@
+"""Monolithic multi-party SWAP test: the four variants of paper Fig 2.
+
+All variants measure tr(W_sigma rho_1 x ... x rho_k) by a GHZ-controlled
+cyclic shift (Sec 2.3) and differ only in how the two rounds of controlled
+SWAPs are scheduled:
+
+* ``hadamard`` — single-ancilla Hadamard test, depth O(k n) (baseline [30, 57]);
+* ``b``       — GHZ width ceil(k/2), per-qubit-slice sequential CSWAPs, depth 2n;
+* ``c``       — GHZ width ceil(k/2)*n, all slices in parallel, depth 2;
+* ``d``       — **this paper**: GHZ width ceil(k/2) *and* constant depth, via
+                shared-control Toffoli banks parallelised through Fanout.
+
+The returned build records which user state loads into which position so the
+estimator reproduces tr(rho_1 rho_2 ... rho_k) in the caller's order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..fanout.fanout import fanout_ancillas_required
+from ..fanout.parallel_toffoli import append_parallel_cswap
+from ..network.program import DistributedProgram
+from .cyclic_shift import interleaved_arrangement, round_position_pairs, slot_assignment
+from .ghz import local_ghz_constant_depth, local_ghz_linear
+
+__all__ = ["SwapTestBuild", "build_monolithic_swap_test", "VARIANTS"]
+
+VARIANTS = ("hadamard", "b", "c", "d")
+
+
+@dataclass
+class SwapTestBuild:
+    """A constructed multi-party SWAP test circuit plus its metadata."""
+
+    program: DistributedProgram
+    k: int
+    n: int
+    variant: str
+    ghz_qubits: tuple[int, ...]
+    position_registers: tuple[tuple[int, ...], ...]
+    user_of_position: tuple[int, ...]
+    basis: str | None
+    readout_clbits: tuple[int, ...] = ()
+    stage_depths: dict[str, int] = field(default_factory=dict)
+    fanout_ancillas: tuple[int, ...] = ()
+
+    def circuit(self):
+        """The flat circuit (build lazily so callers can inspect stages)."""
+        return self.program.build(name=f"swap_test_{self.variant}")
+
+    @property
+    def ghz_width(self) -> int:
+        """Width of the GHZ control register."""
+        return len(self.ghz_qubits)
+
+    @property
+    def total_qubits(self) -> int:
+        """All qubits including data, control, and ancillas."""
+        return self.program.machine.num_qubits
+
+
+def _controller_positions(k: int) -> list[int]:
+    """Even positions host the GHZ controllers — ceil(k/2) of them."""
+    return list(range(0, k, 2))
+
+
+def build_monolithic_swap_test(
+    k: int,
+    n: int,
+    variant: str = "d",
+    basis: str | None = None,
+    ghz_mode: str = "linear",
+    reset_ancillas: bool = True,
+    observable: str | None = None,
+) -> SwapTestBuild:
+    """Construct a k-party SWAP test over n-qubit states on one QPU.
+
+    ``basis`` is ``None`` (no readout — unitary circuit for exact tests),
+    ``"x"`` (estimates the real part) or ``"y"`` (imaginary part).
+    ``ghz_mode`` picks linear-depth or constant-depth (fused) GHZ prep.
+
+    ``observable`` is an optional Pauli label of length n (e.g. ``"ZI"``):
+    a GHZ-controlled application onto one register turns the estimate into
+    tr(W . (O x I...) . rho_1 x ... x rho_k) — the virtual cooling /
+    distillation functional tr(O rho^k) of Sec 6.3 (Eq. 10) when all inputs
+    are copies of one state.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}")
+    if basis not in (None, "x", "y"):
+        raise ValueError("basis must be None, 'x', or 'y'")
+    if k < 2:
+        raise ValueError("the SWAP test needs at least two states")
+    if n < 1:
+        raise ValueError("states need at least one qubit")
+
+    program = DistributedProgram()
+    program.add_qpu("mono")
+    registers = tuple(
+        tuple(program.alloc("mono", f"state_p{p}", n)) for p in range(k)
+    )
+    arrangement = interleaved_arrangement(k)
+    assignment = slot_assignment(k)
+    user_of_position = tuple(assignment[arrangement[p]] for p in range(k))
+
+    controllers = _controller_positions(k)
+    num_controllers = len(controllers)
+    if variant == "hadamard":
+        ghz = tuple(program.alloc("mono", "control", 1))
+    elif variant == "c":
+        ghz = tuple(program.alloc("mono", "ghz", num_controllers * n))
+    else:
+        ghz = tuple(program.alloc("mono", "ghz", num_controllers))
+
+    fanout_pool: dict[int, list[int]] = {}
+    if variant == "d":
+        per_fanout = fanout_ancillas_required(n)
+        count = per_fanout if reset_ancillas else 4 * per_fanout
+        for j in range(num_controllers):
+            fanout_pool[j] = program.alloc("mono", f"fanout_anc_{j}", count)
+
+    stage_depths: dict[str, int] = {}
+    mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 1: control-state preparation.
+    # ------------------------------------------------------------------
+    if variant == "hadamard":
+        program.h(ghz[0])
+    else:
+        if ghz_mode == "linear":
+            local_ghz_linear(program, ghz)
+        elif ghz_mode == "fused":
+            fuse_anc = program.alloc("mono", "ghz_fuse_anc", max(len(ghz) - 1, 0))
+            local_ghz_constant_depth(
+                program, ghz, fuse_anc, reset_ancillas=reset_ancillas
+            )
+        else:
+            raise ValueError("ghz_mode must be 'linear' or 'fused'")
+    stage_depths["ghz_prep"] = program.build_range(mark, program.cursor()).depth()
+    mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 2: two rounds of controlled transpositions.
+    # ------------------------------------------------------------------
+    round1, round2 = round_position_pairs(k)
+
+    def controller_for(pair: tuple[int, int], round_index: int) -> int:
+        a, b = pair
+        host = a if round_index == 0 else b  # even member: right pair start / left pair end
+        return host // 2
+
+    for round_index, pairs in enumerate((round1, round2)):
+        for pair in pairs:
+            a, b = pair
+            j = controller_for(pair, round_index)
+            if variant == "hadamard":
+                for l in range(n):
+                    program.cswap(ghz[0], registers[a][l], registers[b][l])
+            elif variant == "b":
+                for l in range(n):
+                    program.cswap(ghz[j], registers[a][l], registers[b][l])
+            elif variant == "c":
+                for l in range(n):
+                    program.cswap(ghz[j * n + l], registers[a][l], registers[b][l])
+            else:  # variant d: constant depth via fanout
+                append_parallel_cswap(
+                    program,
+                    ghz[j],
+                    list(registers[a]),
+                    list(registers[b]),
+                    fanout_pool[j],
+                    reset_ancillas=reset_ancillas,
+                )
+    stage_depths["cswap_rounds"] = program.build_range(mark, program.cursor()).depth()
+    mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 2b: optional GHZ-controlled observable (virtual cooling, Eq 10).
+    # ------------------------------------------------------------------
+    if observable is not None:
+        if len(observable) != n:
+            raise ValueError("observable label must have one Pauli per state qubit")
+        target_register = registers[0]
+        for l, ch in enumerate(observable.upper()):
+            target = target_register[l]
+            if ch == "I":
+                continue
+            if ch == "X":
+                program.cx(ghz[0], target)
+            elif ch == "Z":
+                program.cz(ghz[0], target)
+            elif ch == "Y":
+                program.sdg(target)
+                program.cx(ghz[0], target)
+                program.s(target)
+            else:
+                raise ValueError(f"invalid Pauli character {ch!r} in observable")
+        stage_depths["observable"] = program.build_range(mark, program.cursor()).depth()
+        mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 3: readout.
+    # ------------------------------------------------------------------
+    readout: list[int] = []
+    if basis is not None:
+        if basis == "y":
+            program.sdg(ghz[0])
+        for g in ghz:
+            program.h(g)
+        readout = [program.measure(g) for g in ghz]
+        stage_depths["readout"] = program.build_range(mark, program.cursor()).depth()
+
+    ancillas = tuple(q for pool in fanout_pool.values() for q in pool)
+    return SwapTestBuild(
+        program=program,
+        k=k,
+        n=n,
+        variant=variant,
+        ghz_qubits=ghz,
+        position_registers=registers,
+        user_of_position=user_of_position,
+        basis=basis,
+        readout_clbits=tuple(readout),
+        stage_depths=stage_depths,
+        fanout_ancillas=ancillas,
+    )

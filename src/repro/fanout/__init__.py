@@ -1,0 +1,19 @@
+"""Constant-depth Fanout and shared-control Toffoli / CSWAP banks."""
+
+from .fanout import FanoutPlan, append_fanout, fanout_ancillas_required
+from .parallel_toffoli import (
+    ToffoliBankPlan,
+    append_parallel_cswap,
+    append_parallel_toffoli_bank,
+    toffoli_decomposition_ops,
+)
+
+__all__ = [
+    "FanoutPlan",
+    "append_fanout",
+    "fanout_ancillas_required",
+    "ToffoliBankPlan",
+    "append_parallel_cswap",
+    "append_parallel_toffoli_bank",
+    "toffoli_decomposition_ops",
+]

@@ -1,0 +1,125 @@
+"""Constant-depth Fanout gate (paper Fig 8, after Pham & Svore [47]).
+
+A Fanout applies CX from one control to n targets.  Done naively this costs
+depth n; the measurement-based construction here costs *constant* depth using
+one ancilla per target:
+
+1. pair the ancillas into Bell pairs (H + CX, one layer each),
+2. fuse the chain ``control — pair_0 — pair_1 — ...`` with one parallel CX
+   layer followed by Z-measurements of the fusion qubits, producing a cat
+   state whose members mirror the control's Z value (X corrections on the
+   surviving cat qubits carry *cumulative* measurement parities — the
+   ``m1``, ``m1+m3`` pattern of Fig 8),
+3. drive the targets from the cat members (at most two sequential CX layers,
+   since a cat of ~n/2+1 members covers n targets),
+4. uncompute the cat by X-basis measurement of its members, applying a Z
+   correction to the control conditioned on the outcome parity (the
+   ``m2+m4`` correction of Fig 8).
+
+The ancillas end measured out and may be reset for reuse across multiple
+Fanout gates (Sec 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..circuits.circuit import Condition
+from ..network.program import DistributedProgram
+
+__all__ = ["FanoutPlan", "append_fanout", "fanout_ancillas_required"]
+
+
+@dataclass
+class FanoutPlan:
+    """Record of one appended fanout: resources and classical bits used."""
+
+    control: int
+    targets: tuple[int, ...]
+    ancillas_used: tuple[int, ...]
+    fusion_clbits: tuple[int, ...] = ()
+    uncompute_clbits: tuple[int, ...] = ()
+    copy_layers: int = 0
+
+    @property
+    def used_measurement(self) -> bool:
+        """Whether the constant-depth (measurement-based) path was taken."""
+        return bool(self.fusion_clbits) or bool(self.uncompute_clbits)
+
+
+def fanout_ancillas_required(num_targets: int) -> int:
+    """Ancillas needed for the constant-depth construction (one per target)."""
+    if num_targets <= 1:
+        return 0
+    return 2 * ((num_targets + 1) // 2)
+
+
+def append_fanout(
+    program: DistributedProgram,
+    control: int,
+    targets: Sequence[int],
+    ancillas: Sequence[int] = (),
+    reset_ancillas: bool = True,
+) -> FanoutPlan:
+    """Append a fanout from ``control`` to ``targets``.
+
+    With at least two ancillas the constant-depth measurement-based circuit
+    is emitted; otherwise a sequential CX ladder (depth n) is used — the
+    unoptimised baseline the paper compares against.  All qubits must share
+    one QPU (distributed designs fan out only within a party).
+    """
+    targets = tuple(targets)
+    if control in targets:
+        raise ValueError("control cannot be one of the targets")
+    if not targets:
+        return FanoutPlan(control, (), ())
+    pairs = min(len(ancillas) // 2, (len(targets) + 1) // 2)
+    if pairs == 0 or len(targets) == 1:
+        for t in targets:
+            program.cx(control, t)
+        return FanoutPlan(control, targets, (), copy_layers=len(targets))
+
+    lefts = [ancillas[2 * i] for i in range(pairs)]
+    rights = [ancillas[2 * i + 1] for i in range(pairs)]
+    used = tuple(lefts + rights)
+
+    # (1) Bell pairs among ancillas: two layers.
+    for left in lefts:
+        program.h(left)
+    for left, right in zip(lefts, rights):
+        program.cx(left, right)
+    # (2) Fusion layer: one parallel CX layer, then Z measurements.
+    program.cx(control, lefts[0])
+    for i in range(1, pairs):
+        program.cx(rights[i - 1], lefts[i])
+    fusion_clbits = [program.measure(left) for left in lefts]
+    # Cumulative X corrections onto the surviving cat members.
+    for i, right in enumerate(rights):
+        program.x(right, condition=Condition(tuple(fusion_clbits[: i + 1]), 1))
+    # (3) Copy phase: drivers are the control plus the cat members.
+    drivers = [control] + rights
+    assignments: list[list[int]] = [[] for _ in drivers]
+    for index, t in enumerate(targets):
+        assignments[index % len(drivers)].append(t)
+    copy_layers = max(len(a) for a in assignments)
+    for layer in range(copy_layers):
+        for driver, assigned in zip(drivers, assignments):
+            if layer < len(assigned):
+                program.cx(driver, assigned[layer])
+    # (4) Uncompute the cat: X-basis measurement + Z correction on control.
+    for right in rights:
+        program.h(right)
+    uncompute_clbits = [program.measure(right) for right in rights]
+    program.z(control, condition=Condition(tuple(uncompute_clbits), 1))
+    if reset_ancillas:
+        for q in used:
+            program.reset(q)
+    return FanoutPlan(
+        control,
+        targets,
+        used,
+        tuple(fusion_clbits),
+        tuple(uncompute_clbits),
+        copy_layers,
+    )

@@ -1,0 +1,191 @@
+"""Shared-control Toffoli banks parallelised via Fanout (paper Fig 7).
+
+A bank is n Toffoli gates ``CCX(a, b_l, t_l)`` sharing one control ``a``.
+Each Toffoli uses the 7-T, depth-optimal decomposition of Amy et al. [2];
+pushing the shared-control CNOTs together with the commutation rules of
+Fig 7b merges them into exactly **four Fanout gates** (two onto the ``t``
+wires, two onto the ``b`` wires), so the bank costs constant depth instead
+of O(n) when the Fanouts use the measurement-based construction of Fig 8.
+
+The parallel CSWAP built on top (``CSWAP = CX(y,x) CCX(c,x,y) CX(y,x)``) is
+the core of both two-party CSWAP designs (Secs 3.3, 3.4) and of the Fig 2d
+monolithic variant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..network.program import DistributedProgram
+from .fanout import FanoutPlan, append_fanout
+
+__all__ = [
+    "ToffoliBankPlan",
+    "toffoli_decomposition_ops",
+    "append_parallel_toffoli_bank",
+    "append_parallel_cswap",
+]
+
+#: The Amy et al. decomposition of CCX(a, b, t): 7 T gates, T-depth 4.
+#: Each entry is (gate_name, wires) with wires drawn from {"a", "b", "t"}.
+_TOFFOLI_OPS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("h", ("t",)),
+    ("cx", ("b", "t")),
+    ("tdg", ("t",)),
+    ("cx", ("a", "t")),
+    ("t", ("t",)),
+    ("cx", ("b", "t")),
+    ("tdg", ("t",)),
+    ("cx", ("a", "t")),
+    ("t", ("b",)),
+    ("t", ("t",)),
+    ("h", ("t",)),
+    ("cx", ("a", "b")),
+    ("t", ("a",)),
+    ("tdg", ("b",)),
+    ("cx", ("a", "b")),
+)
+
+
+def toffoli_decomposition_ops() -> tuple[tuple[str, tuple[str, ...]], ...]:
+    """The symbolic single-Toffoli decomposition (for tests and docs)."""
+    return _TOFFOLI_OPS
+
+
+@dataclass
+class ToffoliBankPlan:
+    """Resources used by one parallel Toffoli bank."""
+
+    shared_control: int
+    pairs: tuple[tuple[int, int], ...]
+    fanouts: list[FanoutPlan] = field(default_factory=list)
+
+    @property
+    def num_fanouts(self) -> int:
+        """Fanout gates emitted (4 for the parallel construction)."""
+        return len(self.fanouts)
+
+
+def append_parallel_toffoli_bank(
+    program: DistributedProgram,
+    shared_control: int,
+    pairs: Sequence[tuple[int, int]],
+    ancillas: Sequence[int] = (),
+    use_fanout: bool = True,
+    reset_ancillas: bool = True,
+) -> ToffoliBankPlan:
+    """Append ``CCX(shared_control, b_l, t_l)`` for every pair ``(b_l, t_l)``.
+
+    With ``use_fanout`` the shared-control CNOT layers become four Fanout
+    gates over the given ancillas (constant depth).  Without it the bank
+    falls back to sequential Toffoli decompositions (the unoptimised O(n)
+    baseline of Sec 3.5).
+    """
+    pairs = tuple((b, t) for b, t in pairs)
+    plan = ToffoliBankPlan(shared_control, pairs)
+    if not pairs:
+        return plan
+    seen = {shared_control}
+    for b, t in pairs:
+        for q in (b, t):
+            if q in seen:
+                raise ValueError("bank wires must be distinct")
+            seen.add(q)
+
+    if not use_fanout:
+        for b, t in pairs:
+            _append_single_toffoli(program, shared_control, b, t)
+        return plan
+
+    # With resets the four Fanouts share one ancilla pool (Sec 3.6 qubit
+    # reuse).  Without resets (needed by the deferred-measurement exact
+    # path) each Fanout must consume fresh ancillas, so the pool is split.
+    if reset_ancillas:
+        pools = [list(ancillas)] * 4
+    else:
+        quarter = len(ancillas) // 4
+        pools = [list(ancillas[i * quarter : (i + 1) * quarter]) for i in range(4)]
+    pool_iter = iter(pools)
+
+    def fanout(targets: list[int]) -> None:
+        plan.fanouts.append(
+            append_fanout(
+                program,
+                shared_control,
+                targets,
+                next(pool_iter),
+                reset_ancillas=reset_ancillas,
+            )
+        )
+
+    b_wires = [b for b, _ in pairs]
+    t_wires = [t for _, t in pairs]
+    for t in t_wires:
+        program.h(t)
+    for b, t in pairs:
+        program.cx(b, t)
+    for t in t_wires:
+        program.tdg(t)
+    fanout(t_wires)
+    for t in t_wires:
+        program.t(t)
+    for b, t in pairs:
+        program.cx(b, t)
+    for t in t_wires:
+        program.tdg(t)
+    fanout(t_wires)
+    for b in b_wires:
+        program.t(b)
+    for t in t_wires:
+        program.t(t)
+    for t in t_wires:
+        program.h(t)
+    fanout(b_wires)
+    # Each merged Toffoli contributes one T to the shared control (Fig 7c
+    # shows the merged rotation on the control wire); a single Rz keeps the
+    # depth constant.  T^n = Rz(n*pi/4) up to global phase.
+    program.gate("rz", [shared_control], params=[len(pairs) * math.pi / 4.0])
+    for b in b_wires:
+        program.tdg(b)
+    fanout(b_wires)
+    return plan
+
+
+def _append_single_toffoli(program: DistributedProgram, a: int, b: int, t: int) -> None:
+    wires = {"a": a, "b": b, "t": t}
+    for name, symbolic in _TOFFOLI_OPS:
+        program.gate(name, [wires[w] for w in symbolic])
+
+
+def append_parallel_cswap(
+    program: DistributedProgram,
+    control: int,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    ancillas: Sequence[int] = (),
+    use_fanout: bool = True,
+    reset_ancillas: bool = True,
+) -> ToffoliBankPlan:
+    """Controlled-SWAP of two n-qubit registers in constant depth.
+
+    Implements ``CSWAP(control; x_l, y_l)`` for every l via
+    ``CX(y,x) . CCX(control, x, y) . CX(y,x)`` with the Toffoli bank
+    parallelised through Fanout — the Fig 2d construction.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("register length mismatch")
+    for x, y in zip(xs, ys):
+        program.cx(y, x)
+    plan = append_parallel_toffoli_bank(
+        program,
+        control,
+        list(zip(xs, ys)),
+        ancillas,
+        use_fanout=use_fanout,
+        reset_ancillas=reset_ancillas,
+    )
+    for x, y in zip(xs, ys):
+        program.cx(y, x)
+    return plan

@@ -1,0 +1,26 @@
+"""Distributed architecture model: QPUs, topology, Bell pairs, programs."""
+
+from .bell import BellLedger, BellPair
+from .program import DistributedProgram, LocalityReport
+from .qpu import Machine, QPU
+from .topology import (
+    Topology,
+    complete_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+
+__all__ = [
+    "BellLedger",
+    "BellPair",
+    "DistributedProgram",
+    "LocalityReport",
+    "Machine",
+    "QPU",
+    "Topology",
+    "complete_topology",
+    "line_topology",
+    "ring_topology",
+    "star_topology",
+]

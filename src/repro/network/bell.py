@@ -1,0 +1,68 @@
+"""Bell-pair resources: allocation, generation, and consumption accounting.
+
+Bell pairs are the currency of distributed quantum computing (Sec 2.2).  The
+ledger tracks both *logical* pairs (one per teleoperation, regardless of
+distance) and *physical* pairs (hop-weighted: entanglement swapping on a line
+consumes one nearest-neighbour pair per hop, Sec 2.5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .topology import Topology
+
+__all__ = ["BellLedger", "BellPair"]
+
+
+@dataclass(frozen=True)
+class BellPair:
+    """A pre-shared pair: global qubit indices and owning QPUs."""
+
+    qubit_a: int
+    qubit_b: int
+    qpu_a: str
+    qpu_b: str
+
+
+class BellLedger:
+    """Accounting of Bell pairs consumed, per QPU pair and per QPU."""
+
+    def __init__(self, topology: Topology | None = None):
+        self.topology = topology
+        self.logical = 0
+        self.physical = 0
+        self.by_link: Counter = Counter()
+        self.by_qpu: Counter = Counter()
+
+    def record(self, qpu_a: str, qpu_b: str, purpose: str = "") -> None:
+        """Record consumption of one logical pair between two QPUs."""
+        if qpu_a == qpu_b:
+            raise ValueError("Bell pair endpoints must be distinct QPUs")
+        self.logical += 1
+        hops = 1
+        if self.topology is not None:
+            hops = self.topology.swapping_cost(qpu_a, qpu_b)
+        self.physical += hops
+        key = tuple(sorted((qpu_a, qpu_b)))
+        self.by_link[key] += 1
+        # Each endpoint QPU stores one half of the pair.
+        self.by_qpu[qpu_a] += 1
+        self.by_qpu[qpu_b] += 1
+
+    def max_per_qpu(self) -> int:
+        """Largest number of pair-halves any single QPU holds."""
+        return max(self.by_qpu.values(), default=0)
+
+    def summary(self) -> dict:
+        """Plain-dict summary for reports."""
+        return {
+            "logical_pairs": self.logical,
+            "physical_pairs": self.physical,
+            "max_halves_per_qpu": self.max_per_qpu(),
+            "links": {f"{a}--{b}": c for (a, b), c in sorted(self.by_link.items())},
+        }
+
+    def __repr__(self) -> str:
+        return f"BellLedger(logical={self.logical}, physical={self.physical})"

@@ -1,0 +1,209 @@
+"""Distributed program builder.
+
+Accumulates gate-level operations against a growing :class:`Machine`
+allocation, then materialises a flat :class:`~repro.circuits.Circuit`.  The
+builder provides:
+
+* on-the-fly qubit allocation per QPU (registers, ancillas, Bell halves),
+* classical-bit allocation for mid-circuit measurements,
+* tagged Bell-pair *generation* events (the only multi-qubit operations
+  allowed to span QPUs — they model physical entanglement distribution),
+* a locality validator proving that everything else is intra-QPU, and
+* Bell-pair consumption accounting via :class:`BellLedger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..circuits.circuit import Circuit, Condition
+from .bell import BellLedger, BellPair
+from .qpu import Machine
+from .topology import Topology
+
+__all__ = ["DistributedProgram", "LocalityReport"]
+
+
+@dataclass
+class LocalityReport:
+    """Result of the locality audit of a built circuit."""
+
+    local_ops: int
+    bell_generation_ops: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def is_local(self) -> bool:
+        """True when no multi-qubit gate illegally spans QPUs."""
+        return not self.violations
+
+
+class DistributedProgram:
+    """Builder for circuits that execute across a multi-QPU machine."""
+
+    def __init__(self, topology: Topology | None = None):
+        self.machine = Machine()
+        self.topology = topology
+        self.ledger = BellLedger(topology)
+        self._ops: list[tuple] = []  # (name, qubits, clbits, params, condition)
+        self._bell_ops: set[int] = set()  # indices into _ops exempt from locality
+        self.num_clbits = 0
+        if topology is not None:
+            for name in topology.nodes:
+                self.machine.add_qpu(name)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def add_qpu(self, name: str) -> None:
+        """Add a QPU (only needed when no topology was given)."""
+        self.machine.add_qpu(name)
+
+    def alloc(self, qpu: str, label: str, count: int) -> list[int]:
+        """Allocate a named register of ``count`` qubits on a QPU."""
+        return self.machine.alloc(qpu, label, count)
+
+    def alloc_clbits(self, count: int) -> list[int]:
+        """Allocate fresh classical bits."""
+        out = list(range(self.num_clbits, self.num_clbits + count))
+        self.num_clbits += count
+        return out
+
+    def create_bell_pair(self, qubit_a: int, qubit_b: int, purpose: str = "") -> BellPair:
+        """Prepare |Phi+> across two already-allocated qubits on distinct QPUs.
+
+        The H+CX generation event is tagged exempt from the locality audit
+        (it stands in for physical entanglement distribution) and consumption
+        is recorded in the ledger.
+        """
+        qpu_a = self.machine.owner(qubit_a)
+        qpu_b = self.machine.owner(qubit_b)
+        if qpu_a == qpu_b:
+            raise ValueError("Bell pair must span two QPUs")
+        self._bell_ops.add(len(self._ops))
+        self._ops.append(("h", (qubit_a,), (), (), None))
+        self._bell_ops.add(len(self._ops))
+        self._ops.append(("cx", (qubit_a, qubit_b), (), (), None))
+        self.ledger.record(qpu_a, qpu_b, purpose)
+        return BellPair(qubit_a, qubit_b, qpu_a, qpu_b)
+
+    # ------------------------------------------------------------------
+    # Instructions (thin mirrors of the Circuit API)
+    # ------------------------------------------------------------------
+    def gate(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        params: Sequence[float] = (),
+        condition: Condition | None = None,
+    ) -> "DistributedProgram":
+        """Append a gate by name."""
+        self._ops.append((name, tuple(qubits), (), tuple(params), condition))
+        return self
+
+    def h(self, q: int) -> "DistributedProgram":
+        """Hadamard."""
+        return self.gate("h", [q])
+
+    def x(self, q: int, condition: Condition | None = None) -> "DistributedProgram":
+        """Pauli X (optionally classically conditioned)."""
+        return self.gate("x", [q], condition=condition)
+
+    def z(self, q: int, condition: Condition | None = None) -> "DistributedProgram":
+        """Pauli Z (optionally classically conditioned)."""
+        return self.gate("z", [q], condition=condition)
+
+    def s(self, q: int) -> "DistributedProgram":
+        """Phase gate."""
+        return self.gate("s", [q])
+
+    def sdg(self, q: int) -> "DistributedProgram":
+        """Inverse phase gate."""
+        return self.gate("sdg", [q])
+
+    def t(self, q: int) -> "DistributedProgram":
+        """T gate."""
+        return self.gate("t", [q])
+
+    def tdg(self, q: int) -> "DistributedProgram":
+        """Inverse T gate."""
+        return self.gate("tdg", [q])
+
+    def cx(self, c: int, t: int) -> "DistributedProgram":
+        """CNOT (must be intra-QPU; use telegate for remote)."""
+        return self.gate("cx", [c, t])
+
+    def cz(self, a: int, b: int) -> "DistributedProgram":
+        """CZ."""
+        return self.gate("cz", [a, b])
+
+    def ccx(self, c0: int, c1: int, t: int) -> "DistributedProgram":
+        """Toffoli."""
+        return self.gate("ccx", [c0, c1, t])
+
+    def cswap(self, c: int, a: int, b: int) -> "DistributedProgram":
+        """Fredkin."""
+        return self.gate("cswap", [c, a, b])
+
+    def swap(self, a: int, b: int) -> "DistributedProgram":
+        """SWAP."""
+        return self.gate("swap", [a, b])
+
+    def measure(self, qubit: int) -> int:
+        """Measure into a freshly allocated classical bit; returns the clbit."""
+        (clbit,) = self.alloc_clbits(1)
+        self._ops.append(("measure", (qubit,), (clbit,), (), None))
+        return clbit
+
+    def reset(self, qubit: int) -> "DistributedProgram":
+        """Reset a qubit to |0>."""
+        self._ops.append(("reset", (qubit,), (), (), None))
+        return self
+
+    def barrier(self, qubits: Sequence[int] | None = None) -> "DistributedProgram":
+        """Scheduling barrier."""
+        qs = tuple(range(self.machine.num_qubits)) if qubits is None else tuple(qubits)
+        self._ops.append(("barrier", qs, (), (), None))
+        return self
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def build(self, name: str = "distributed") -> Circuit:
+        """Materialise the accumulated program into a flat Circuit."""
+        return self.build_range(0, len(self._ops), name=name)
+
+    def build_range(self, start: int, end: int, name: str = "slice") -> Circuit:
+        """Materialise a half-open instruction range (for stage-depth reports)."""
+        circuit = Circuit(self.machine.num_qubits, self.num_clbits, name=name)
+        for op_name, qubits, clbits, params, condition in self._ops[start:end]:
+            if op_name == "barrier":
+                circuit.barrier(qubits)
+            else:
+                circuit.append(op_name, qubits, clbits, params, condition)
+        return circuit
+
+    def cursor(self) -> int:
+        """Current instruction count (pair with :meth:`build_range`)."""
+        return len(self._ops)
+
+    def audit_locality(self) -> LocalityReport:
+        """Verify every multi-qubit gate is intra-QPU or a Bell generation."""
+        local = 0
+        bell = 0
+        violations: list[str] = []
+        for index, (op_name, qubits, _clbits, _params, _cond) in enumerate(self._ops):
+            if op_name == "barrier" or len(qubits) < 2:
+                continue
+            owners = {self.machine.owner(q) for q in qubits}
+            if index in self._bell_ops:
+                bell += 1
+                continue
+            if len(owners) == 1:
+                local += 1
+            else:
+                violations.append(
+                    f"op {index}: {op_name} on qubits {qubits} spans QPUs {sorted(owners)}"
+                )
+        return LocalityReport(local, bell, violations)

@@ -1,0 +1,93 @@
+"""QPU and machine models: qubit ownership across a distributed system.
+
+A :class:`Machine` owns a global qubit index space partitioned among QPUs.
+Protocol builders allocate named registers on specific QPUs; the resulting
+map lets the locality validator check that every multi-qubit gate is either
+intra-QPU or an explicitly tagged Bell-pair generation event (the physical
+entanglement-distribution step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QPU", "Machine"]
+
+
+@dataclass
+class QPU:
+    """A single processor: a name plus the global indices of its qubits."""
+
+    name: str
+    qubits: list[int] = field(default_factory=list)
+    registers: dict[str, list[int]] = field(default_factory=dict)
+
+    @property
+    def num_qubits(self) -> int:
+        """Qubits currently allocated on this QPU."""
+        return len(self.qubits)
+
+    def register(self, label: str) -> list[int]:
+        """Global indices of a named register."""
+        return list(self.registers[label])
+
+
+class Machine:
+    """A set of QPUs sharing one global qubit numbering."""
+
+    def __init__(self):
+        self.qpus: dict[str, QPU] = {}
+        self._owner: dict[int, str] = {}
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    def add_qpu(self, name: str) -> QPU:
+        """Create an empty QPU."""
+        if name in self.qpus:
+            raise ValueError(f"QPU {name!r} already exists")
+        qpu = QPU(name)
+        self.qpus[name] = qpu
+        return qpu
+
+    def alloc(self, qpu_name: str, label: str, count: int) -> list[int]:
+        """Allocate ``count`` fresh qubits on a QPU under a register label."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        qpu = self.qpus.get(qpu_name)
+        if qpu is None:
+            raise KeyError(f"unknown QPU {qpu_name!r}")
+        if label in qpu.registers:
+            raise ValueError(f"register {label!r} already exists on {qpu_name!r}")
+        indices = list(range(self._next, self._next + count))
+        self._next += count
+        qpu.qubits.extend(indices)
+        qpu.registers[label] = indices
+        for q in indices:
+            self._owner[q] = qpu_name
+        return indices
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Total qubits allocated across all QPUs."""
+        return self._next
+
+    def owner(self, qubit: int) -> str:
+        """Name of the QPU owning a global qubit index."""
+        try:
+            return self._owner[qubit]
+        except KeyError as exc:
+            raise KeyError(f"qubit {qubit} is not allocated") from exc
+
+    def qubits_of(self, qpu_name: str) -> list[int]:
+        """All qubits on the named QPU."""
+        return list(self.qpus[qpu_name].qubits)
+
+    def max_qubits_per_qpu(self) -> int:
+        """Size of the largest QPU — the per-QPU memory footprint."""
+        if not self.qpus:
+            return 0
+        return max(q.num_qubits for q in self.qpus.values())
+
+    def __repr__(self) -> str:
+        return f"Machine(qpus={list(self.qpus)}, qubits={self.num_qubits})"

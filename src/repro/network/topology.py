@@ -1,0 +1,97 @@
+"""Network topologies connecting QPUs.
+
+The paper assumes a line topology ("the simplest connectivity", Sec 2.5) and
+counts one physical Bell pair per hop when long-range pairs are stitched by
+entanglement swapping.  Ring / star / all-to-all variants are provided for
+the topology-ablation benchmark (the paper's Sec 7 lists network topology as
+the main architecture-side extension).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import networkx as nx
+
+__all__ = ["Topology", "line_topology", "ring_topology", "star_topology", "complete_topology"]
+
+
+class Topology:
+    """A connectivity graph over named QPUs with hop-distance queries."""
+
+    def __init__(self, graph: nx.Graph, name: str):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("topology needs at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("topology must be connected")
+        self.graph = graph
+        self.name = name
+        self._dist = dict(nx.all_pairs_shortest_path_length(graph))
+
+    @property
+    def nodes(self) -> list:
+        """QPU names in insertion order."""
+        return list(self.graph.nodes)
+
+    def distance(self, a, b) -> int:
+        """Hop count between two QPUs."""
+        try:
+            return self._dist[a][b]
+        except KeyError as exc:
+            raise KeyError(f"unknown QPU in distance query: {a!r} or {b!r}") from exc
+
+    def are_adjacent(self, a, b) -> bool:
+        """Whether two QPUs share a direct link."""
+        return self.graph.has_edge(a, b)
+
+    def path(self, a, b) -> list:
+        """One shortest path between two QPUs."""
+        return nx.shortest_path(self.graph, a, b)
+
+    def swapping_cost(self, a, b) -> int:
+        """Physical Bell pairs consumed to produce one a—b pair.
+
+        Entanglement swapping stitches one nearest-neighbour pair per hop
+        (Sec 2.5), so the cost equals the hop distance.
+        """
+        return self.distance(a, b)
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, nodes={self.graph.number_of_nodes()})"
+
+
+def line_topology(names: Sequence) -> Topology:
+    """QPUs on a line, adjacent indices connected."""
+    graph = nx.Graph()
+    names = list(names)
+    graph.add_nodes_from(names)
+    graph.add_edges_from(zip(names, names[1:]))
+    return Topology(graph, "line")
+
+
+def ring_topology(names: Sequence) -> Topology:
+    """Line plus a wrap-around link."""
+    names = list(names)
+    graph = nx.Graph()
+    graph.add_nodes_from(names)
+    graph.add_edges_from(zip(names, names[1:]))
+    if len(names) > 2:
+        graph.add_edge(names[-1], names[0])
+    return Topology(graph, "ring")
+
+
+def star_topology(names: Sequence) -> Topology:
+    """First QPU is a hub connected to all others."""
+    names = list(names)
+    graph = nx.Graph()
+    graph.add_nodes_from(names)
+    graph.add_edges_from((names[0], other) for other in names[1:])
+    return Topology(graph, "star")
+
+
+def complete_topology(names: Sequence) -> Topology:
+    """All-to-all links."""
+    names = list(names)
+    graph = nx.complete_graph(len(names))
+    mapping = dict(enumerate(names))
+    return Topology(nx.relabel_nodes(graph, mapping), "complete")

@@ -1,0 +1,5 @@
+"""Reporting containers for tables and figures."""
+
+from .tables import Figure, Series, Table
+
+__all__ = ["Figure", "Series", "Table"]

@@ -1,0 +1,21 @@
+"""Resource cost models reproducing Tables 1-3."""
+
+from .accounting import (
+    DISTILLATION_RATIO,
+    SchemeCost,
+    StepCost,
+    naive_cost,
+    scheme_comparison,
+    teledata_cost,
+    telegate_cost,
+)
+
+__all__ = [
+    "DISTILLATION_RATIO",
+    "SchemeCost",
+    "StepCost",
+    "naive_cost",
+    "scheme_comparison",
+    "teledata_cost",
+    "telegate_cost",
+]

@@ -1,0 +1,148 @@
+"""Resource accounting reproducing the paper's Tables 1, 2, and 3.
+
+The paper counts, per QPU, the ancilla qubits, Bell pairs, and circuit depth
+of every protocol step, using 4 Fanout gates per CSWAP round (Fig 7c) and
+assuming Sec 3.6 qubit reuse.  These closed-form entries are the reference
+model; the builders in :mod:`repro.core` are measured against them in the
+benchmarks (same scaling, constants within the paper's conventions).
+
+Paper constants (depth per step):
+
+* GHZ preparation (Fig 4): depth 9, 1 ancilla, 2 Bell pairs.
+* CNOT teleportation (Fig 1b): depth 3 per layer, two layers per round.
+* Toffoli teleportation (Fig 6d): depth 6.
+* Data teleportation (Fig 6c): depth 8.
+* Toffoli bank non-Fanout gates (Fig 7c): depth 4.
+* Fanout (Fig 8): depth 7, used 4 times per round.
+* Readout: depth 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = [
+    "StepCost",
+    "SchemeCost",
+    "telegate_cost",
+    "teledata_cost",
+    "naive_cost",
+    "scheme_comparison",
+    "DISTILLATION_RATIO",
+]
+
+#: Bell pairs of raw entanglement distilled into one logical pair [5, 46].
+DISTILLATION_RATIO = 3
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """One row of Table 1 / Table 2."""
+
+    label: str
+    ancilla: int
+    bell_pairs: int
+    depth: int
+    repetitions: int = 1
+
+    @property
+    def total_bell_pairs(self) -> int:
+        """Bell pairs across repetitions."""
+        return self.bell_pairs * self.repetitions
+
+    @property
+    def total_depth(self) -> int:
+        """Depth across repetitions."""
+        return self.depth * self.repetitions
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Aggregate per-QPU cost of one scheme (a row of Table 3)."""
+
+    scheme: str
+    ancilla: int
+    bell_pairs: int
+    depth: int
+    steps: tuple[StepCost, ...] = ()
+
+    @property
+    def memory_estimate(self) -> int:
+        """Table 3 memory model: 3 x Bell pairs (distillation) + ancilla."""
+        return DISTILLATION_RATIO * self.bell_pairs + self.ancilla
+
+
+def telegate_cost(n: int) -> SchemeCost:
+    """Table 1: per-QPU cost of the telegate scheme for n-qubit states.
+
+    Two CSWAP rounds repeat steps (b1)-(b4); ancillas are reused across
+    rounds.  Totals: ancilla n, Bell pairs 2 + 6n, depth 99.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    steps = (
+        StepCost("(a) GHZ preparation (Fig 4)", 1, 2, 9),
+        StepCost("(b1) CNOT teleportation x2 (Fig 6b)", 0, 2 * n, 3 * 2, repetitions=2),
+        StepCost("(b2) Toffoli teleportation (Fig 6d)", 0, n, 6, repetitions=2),
+        StepCost("(b3) Toffoli non-Fanout gates (Fig 7c)", 0, 0, 4, repetitions=2),
+        StepCost("(b4) Fanout gates x4 (Fig 7c)", n, 0, 7 * 4, repetitions=2),
+        StepCost("(c) Readout", 0, 0, 2),
+    )
+    bells = 2 + (2 * n + n) * 2
+    depth = 9 + (6 + 6 + 4 + 28) * 2 + 2
+    return SchemeCost("telegate", ancilla=n, bell_pairs=bells, depth=depth, steps=steps)
+
+
+def teledata_cost(n: int) -> SchemeCost:
+    """Table 2: per-QPU cost of the teledata scheme for n-qubit states.
+
+    Data teleportation replaces the CNOT/Toffoli teleportations.  Totals:
+    ancilla 2n, Bell pairs 2 + 4n, depth 91.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    steps = (
+        StepCost("(a) GHZ preparation (Fig 4)", 1, 2, 9),
+        StepCost("(b1) Data teleportation (Fig 6c)", n, 2 * n, 8, repetitions=2),
+        StepCost("(b2) Toffoli non-Fanout gates (Fig 7c)", 0, 0, 4, repetitions=2),
+        StepCost("(b3) Fanout gates x4 (Fig 7c)", n, 0, 7 * 4, repetitions=2),
+        StepCost("(c) Readout", 0, 0, 2),
+    )
+    bells = 2 + 2 * n * 2
+    depth = 9 + (8 + 4 + 28) * 2 + 2
+    return SchemeCost("teledata", ancilla=2 * n, bell_pairs=bells, depth=depth, steps=steps)
+
+
+def naive_cost(n: int, k: int) -> SchemeCost:
+    """Sec 2.5 / Table 3c: per-QPU cost of the naive distribution.
+
+    Worst-case one-way redistribution on a line costs
+    ``(n/k + n - 1)(n - n/k)/2`` Bell pairs; returning the qubits doubles it.
+    Depth 76 (no inter-QPU teleoperations during the local tests).
+    """
+    if n < 1 or k < 2:
+        raise ValueError("need n >= 1 and k >= 2")
+    per = Fraction(n, k)
+    one_way = (per + n - 1) * (n - per) / 2
+    bells = int(2 * one_way)
+    # Local-only execution: GHZ prep (9) + two rounds of local CSWAP banks
+    # (4 + 28 per round, no teleportations) + readout (2).
+    depth = 9 + (4 + 28) * 2 + 2 + 1
+    return SchemeCost("naive", ancilla=n, bell_pairs=bells, depth=depth)
+
+
+def scheme_comparison(n: int, k: int) -> list[dict]:
+    """Table 3: all three schemes side by side for given n, k."""
+    rows = []
+    for cost in (telegate_cost(n), teledata_cost(n), naive_cost(n, k)):
+        rows.append(
+            {
+                "scheme": cost.scheme,
+                "ancilla": cost.ancilla,
+                "bell_pairs": cost.bell_pairs,
+                "depth": cost.depth,
+                "memory_estimate": cost.memory_estimate,
+            }
+        )
+    return rows

@@ -1,0 +1,22 @@
+"""Simulators: statevector, density matrix, stabilizer tableau, Pauli frame."""
+
+from .density import DensityResult, DensitySimulator
+from .noisemodel import NoiseModel, depolarizing_kraus
+from .pauli import Pauli
+from .pauliframe import FrameSample, PauliFrameSimulator
+from .statevector import StatevectorSimulator, TrajectoryResult, simulate_statevector
+from .tableau import TableauSimulator
+
+__all__ = [
+    "DensityResult",
+    "DensitySimulator",
+    "NoiseModel",
+    "depolarizing_kraus",
+    "Pauli",
+    "FrameSample",
+    "PauliFrameSimulator",
+    "StatevectorSimulator",
+    "TrajectoryResult",
+    "simulate_statevector",
+    "TableauSimulator",
+]

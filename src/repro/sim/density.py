@@ -1,0 +1,201 @@
+"""Dense density-matrix simulator with Kraus noise and classical feedback.
+
+Substitute for Qiskit Aer's density-matrix backend (paper Secs 5.3, 5.5).
+Measurement with feedback is handled by *branching*: the simulator keeps one
+unnormalised density matrix per classical-bit assignment that has non-zero
+probability, so classical correlations between measurement outcomes and
+subsequent conditioned gates are exact.  The number of branches is at most
+``2^(#measurements)`` — fine for the small circuits this backend is used on;
+large Clifford analyses use :mod:`repro.sim.pauliframe` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import gate_matrix
+from .noisemodel import NoiseModel, depolarizing_kraus
+
+__all__ = ["DensityResult", "DensitySimulator", "apply_channel", "apply_unitary"]
+
+
+def apply_unitary(
+    rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """U rho U^dagger with U acting on the listed qubits."""
+    k = len(qubits)
+    qubits = list(qubits)
+    tensor = rho.reshape([2] * (2 * num_qubits))
+    # Row side.
+    tensor = np.moveaxis(tensor, qubits, range(k))
+    block = tensor.reshape(2**k, -1)
+    block = matrix @ block
+    tensor = block.reshape([2] * (2 * num_qubits))
+    tensor = np.moveaxis(tensor, range(k), qubits)
+    # Column side (conjugate).
+    col_axes = [num_qubits + q for q in qubits]
+    tensor = np.moveaxis(tensor, col_axes, range(k))
+    block = tensor.reshape(2**k, -1)
+    block = matrix.conj() @ block
+    tensor = block.reshape([2] * (2 * num_qubits))
+    tensor = np.moveaxis(tensor, range(k), col_axes)
+    dim = 2**num_qubits
+    return np.ascontiguousarray(tensor).reshape(dim, dim)
+
+
+def apply_channel(
+    rho: np.ndarray,
+    kraus: Sequence[np.ndarray],
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a Kraus channel on the listed qubits."""
+    out = np.zeros_like(rho)
+    for op in kraus:
+        out += apply_unitary(rho, op, qubits, num_qubits)
+    return out
+
+
+def _projector(outcome: int) -> np.ndarray:
+    proj = np.zeros((2, 2), dtype=complex)
+    proj[outcome, outcome] = 1.0
+    return proj
+
+
+@dataclass
+class DensityResult:
+    """Final ensemble: one unnormalised density matrix per classical branch."""
+
+    num_qubits: int
+    num_clbits: int
+    branches: list[tuple[tuple[int, ...], np.ndarray]]
+
+    def final_density(self) -> np.ndarray:
+        """Total (trace-one) density matrix, classical register traced out."""
+        total = sum(rho for _, rho in self.branches)
+        trace = np.real(np.trace(total))
+        if trace <= 0:
+            raise RuntimeError("zero total probability")
+        return total / trace
+
+    def branch_probabilities(self) -> dict[tuple[int, ...], float]:
+        """Probability of each classical-bit assignment."""
+        return {
+            bits: float(np.real(np.trace(rho))) for bits, rho in self.branches
+        }
+
+
+class DensitySimulator:
+    """Exact mixed-state simulation of the circuit IR with optional noise."""
+
+    def __init__(self, noise: NoiseModel | None = None):
+        self.noise = noise or NoiseModel.noiseless()
+        self._kraus_cache: dict[tuple[float, int], list[np.ndarray]] = {}
+
+    def _kraus(self, rate: float, arity: int) -> list[np.ndarray]:
+        key = (rate, arity)
+        if key not in self._kraus_cache:
+            self._kraus_cache[key] = depolarizing_kraus(rate, arity)
+        return self._kraus_cache[key]
+
+    def run(
+        self,
+        circuit: Circuit,
+        initial_state: np.ndarray | None = None,
+        prune_threshold: float = 1e-12,
+    ) -> DensityResult:
+        """Simulate the circuit, returning the full branch ensemble.
+
+        ``initial_state`` may be a statevector or a density matrix.
+        Branches whose probability falls below ``prune_threshold`` are
+        dropped (and the lost weight is renormalised away at read-out).
+        """
+        n = circuit.num_qubits
+        dim = 2**n
+        if initial_state is None:
+            rho = np.zeros((dim, dim), dtype=complex)
+            rho[0, 0] = 1.0
+        else:
+            arr = np.asarray(initial_state, dtype=complex)
+            if arr.ndim == 1:
+                if arr.shape != (dim,):
+                    raise ValueError("initial statevector dimension mismatch")
+                rho = np.outer(arr, arr.conj())
+            else:
+                if arr.shape != (dim, dim):
+                    raise ValueError("initial density matrix dimension mismatch")
+                rho = arr.copy()
+
+        branches: list[tuple[tuple[int, ...], np.ndarray]] = [
+            (tuple([0] * circuit.num_clbits), rho)
+        ]
+
+        for inst in circuit.instructions:
+            if inst.name == "barrier":
+                continue
+            new_branches: list[tuple[tuple[int, ...], np.ndarray]] = []
+            for bits, branch_rho in branches:
+                if inst.condition is not None and not inst.condition.evaluate(bits):
+                    new_branches.append((bits, branch_rho))
+                    continue
+                if inst.name == "measure":
+                    new_branches.extend(
+                        self._measure(bits, branch_rho, inst.qubits[0], inst.clbits[0], n)
+                    )
+                    continue
+                if inst.name == "reset":
+                    new_branches.append((bits, self._reset(branch_rho, inst.qubits[0], n)))
+                    continue
+                matrix = gate_matrix(inst.name, inst.params)
+                out = apply_unitary(branch_rho, matrix, inst.qubits, n)
+                rate = self.noise.gate_error_rate(len(inst.qubits))
+                if rate > 0.0:
+                    out = apply_channel(out, self._kraus(rate, len(inst.qubits)), inst.qubits, n)
+                new_branches.append((bits, out))
+            # Merge branches with identical classical registers and prune.
+            merged: dict[tuple[int, ...], np.ndarray] = {}
+            for bits, branch_rho in new_branches:
+                if bits in merged:
+                    merged[bits] = merged[bits] + branch_rho
+                else:
+                    merged[bits] = branch_rho
+            branches = [
+                (bits, m)
+                for bits, m in merged.items()
+                if np.real(np.trace(m)) > prune_threshold
+            ]
+            if not branches:
+                raise RuntimeError("all branches pruned; threshold too aggressive")
+        return DensityResult(n, circuit.num_clbits, branches)
+
+    # ------------------------------------------------------------------
+    def _measure(
+        self,
+        bits: tuple[int, ...],
+        rho: np.ndarray,
+        qubit: int,
+        clbit: int,
+        num_qubits: int,
+    ) -> list[tuple[tuple[int, ...], np.ndarray]]:
+        p_flip = self.noise.p_meas
+        proj0 = apply_unitary(rho, _projector(0), [qubit], num_qubits)
+        proj1 = apply_unitary(rho, _projector(1), [qubit], num_qubits)
+        out = []
+        for recorded in (0, 1):
+            true_match = proj0 if recorded == 0 else proj1
+            true_other = proj1 if recorded == 0 else proj0
+            branch_rho = (1.0 - p_flip) * true_match + p_flip * true_other
+            new_bits = list(bits)
+            new_bits[clbit] = recorded
+            out.append((tuple(new_bits), branch_rho))
+        return out
+
+    def _reset(self, rho: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+        proj0 = apply_unitary(rho, _projector(0), [qubit], num_qubits)
+        proj1 = apply_unitary(rho, _projector(1), [qubit], num_qubits)
+        flipped = apply_unitary(proj1, gate_matrix("x"), [qubit], num_qubits)
+        return proj0 + flipped

@@ -1,0 +1,111 @@
+"""The paper's circuit-level noise model (Sec 5.1).
+
+For a base noise level ``p``:
+
+* single-qubit gates suffer depolarizing noise of rate ``p / 10``,
+* two-qubit gates suffer depolarizing noise of rate ``p``,
+* measurements are flipped with probability ``p``.
+
+The model is exposed in two interchangeable forms: Kraus channels for the
+density-matrix simulator and stochastic Pauli fault sampling for the
+statevector-trajectory and Pauli-frame simulators (depolarizing noise is a
+Pauli mixture, so both forms describe the same channel).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..circuits.gates import I2, X, Y, Z
+
+__all__ = ["NoiseModel", "depolarizing_kraus", "PAULI_MATRICES"]
+
+PAULI_MATRICES = {"I": I2, "X": X, "Y": Y, "Z": Z}
+
+_PAULI_NAMES = ("I", "X", "Y", "Z")
+
+
+def depolarizing_kraus(probability: float, num_qubits: int) -> list[np.ndarray]:
+    """Kraus operators of the ``num_qubits``-qubit depolarizing channel.
+
+    With probability ``probability`` a uniformly random *non-identity* Pauli
+    is applied.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    labels = ["".join(t) for t in itertools.product(_PAULI_NAMES, repeat=num_qubits)]
+    non_identity = [lbl for lbl in labels if set(lbl) != {"I"}]
+    kraus = []
+    identity = np.eye(2**num_qubits, dtype=complex)
+    kraus.append(np.sqrt(1.0 - probability) * identity)
+    weight = probability / len(non_identity)
+    for lbl in non_identity:
+        op = np.array([[1.0]], dtype=complex)
+        for ch in lbl:
+            op = np.kron(op, PAULI_MATRICES[ch])
+        kraus.append(np.sqrt(weight) * op)
+    return kraus
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Depolarizing + readout noise, parameterised as in the paper."""
+
+    p1: float
+    p2: float
+    p_meas: float
+
+    @classmethod
+    def from_base(cls, p: float) -> "NoiseModel":
+        """The paper's scaling: p/10 on 1q gates, p on 2q gates, p on measurement."""
+        return cls(p1=p / 10.0, p2=p, p_meas=p)
+
+    @classmethod
+    def noiseless(cls) -> "NoiseModel":
+        """All error rates zero."""
+        return cls(0.0, 0.0, 0.0)
+
+    @property
+    def is_noiseless(self) -> bool:
+        """Whether every rate is exactly zero."""
+        return self.p1 == 0.0 and self.p2 == 0.0 and self.p_meas == 0.0
+
+    def gate_error_rate(self, num_qubits: int) -> float:
+        """Depolarizing rate applied after a gate of the given arity."""
+        if num_qubits <= 0:
+            raise ValueError("gate arity must be positive")
+        if num_qubits == 1:
+            return self.p1
+        return self.p2
+
+    # ------------------------------------------------------------------
+    # Stochastic (Pauli fault) form
+    # ------------------------------------------------------------------
+    def sample_gate_fault(
+        self, qubits: Sequence[int], rng: np.random.Generator
+    ) -> list[tuple[int, str]]:
+        """Sample a Pauli fault after a gate on ``qubits``.
+
+        Returns ``(qubit, pauli)`` pairs with pauli in {X, Y, Z}; empty list
+        when no fault fires.  For multi-qubit gates a uniformly random
+        non-identity Pauli string over the gate's qubits is drawn.
+        """
+        rate = self.gate_error_rate(len(qubits))
+        if rate == 0.0 or rng.random() >= rate:
+            return []
+        k = len(qubits)
+        while True:
+            word = [int(rng.integers(0, 4)) for _ in range(k)]
+            if any(word):
+                break
+        return [
+            (q, _PAULI_NAMES[w]) for q, w in zip(qubits, word) if w != 0
+        ]
+
+    def sample_measurement_flip(self, rng: np.random.Generator) -> bool:
+        """Whether a measurement record is flipped."""
+        return bool(self.p_meas > 0.0 and rng.random() < self.p_meas)

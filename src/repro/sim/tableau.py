@@ -1,0 +1,239 @@
+"""Aaronson–Gottesman stabilizer tableau simulator (Stim substitute).
+
+Implements the CHP algorithm [Aaronson & Gottesman, PRA 70, 052328 (2004)]:
+an ``2n x 2n`` binary tableau whose first ``n`` rows are destabilizers and
+last ``n`` rows stabilizer generators, plus a sign column.  Supports the
+Clifford gate set used by every COMPAS subcircuit (H, S, S†, Paulis, CX, CZ,
+SWAP), Z-basis measurement, reset, and parity-conditioned Pauli feedback.
+
+Used to validate the constant-depth Fanout and GHZ constructions at scale and
+to cross-check the Pauli-frame sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from .pauli import Pauli
+
+__all__ = ["TableauSimulator"]
+
+
+class TableauSimulator:
+    """Stabilizer-state simulator over the circuit IR (Clifford fragment)."""
+
+    def __init__(self, num_qubits: int, seed: int | None = None):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.n = num_qubits
+        self.rng = np.random.default_rng(seed)
+        size = 2 * num_qubits
+        self.x = np.zeros((size, num_qubits), dtype=bool)
+        self.z = np.zeros((size, num_qubits), dtype=bool)
+        self.r = np.zeros(size, dtype=bool)
+        for i in range(num_qubits):
+            self.x[i, i] = True          # destabilizer X_i
+            self.z[num_qubits + i, i] = True  # stabilizer Z_i
+
+    # ------------------------------------------------------------------
+    # Elementary gates
+    # ------------------------------------------------------------------
+    def h(self, q: int) -> None:
+        """Hadamard."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def s(self, q: int) -> None:
+        """Phase gate."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def sdg(self, q: int) -> None:
+        """Inverse phase gate (S three times)."""
+        self.s(q)
+        self.s(q)
+        self.s(q)
+
+    def x_gate(self, q: int) -> None:
+        """Pauli X (phase flip on rows with Z support)."""
+        self.r ^= self.z[:, q]
+
+    def z_gate(self, q: int) -> None:
+        """Pauli Z."""
+        self.r ^= self.x[:, q]
+
+    def y_gate(self, q: int) -> None:
+        """Pauli Y."""
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def cx(self, control: int, target: int) -> None:
+        """CNOT."""
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & (self.x[:, target] ^ self.z[:, control] ^ True)
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def cz(self, a: int, b: int) -> None:
+        """Controlled-Z via H on target."""
+        self.h(b)
+        self.cx(a, b)
+        self.h(b)
+
+    def swap(self, a: int, b: int) -> None:
+        """SWAP via three CNOTs."""
+        self.cx(a, b)
+        self.cx(b, a)
+        self.cx(a, b)
+
+    # ------------------------------------------------------------------
+    # Row arithmetic (Aaronson–Gottesman "rowsum")
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _g(x1: int, z1: int, x2: int, z2: int) -> int:
+        if x1 == 0 and z1 == 0:
+            return 0
+        if x1 == 1 and z1 == 1:
+            return z2 - x2
+        if x1 == 1 and z1 == 0:
+            return z2 * (2 * x2 - 1)
+        return x2 * (1 - 2 * z2)
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h <- row h * row i (with exact sign)."""
+        total = 2 * int(self.r[h]) + 2 * int(self.r[i])
+        for q in range(self.n):
+            total += self._g(
+                int(self.x[i, q]), int(self.z[i, q]), int(self.x[h, q]), int(self.z[h, q])
+            )
+        self.r[h] = (total % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    # ------------------------------------------------------------------
+    # Measurement / reset
+    # ------------------------------------------------------------------
+    def measure(self, q: int, forced: int | None = None) -> tuple[int, bool]:
+        """Z-basis measurement.  Returns (outcome, was_deterministic)."""
+        n = self.n
+        anticommuting = [p for p in range(n, 2 * n) if self.x[p, q]]
+        if anticommuting:
+            p = anticommuting[0]
+            if forced is None:
+                outcome = int(self.rng.integers(0, 2))
+            else:
+                outcome = forced
+            for i in range(2 * n):
+                if i != p and self.x[i, q]:
+                    self._rowsum(i, p)
+            self.x[p - n] = self.x[p].copy()
+            self.z[p - n] = self.z[p].copy()
+            self.r[p - n] = self.r[p]
+            self.x[p] = False
+            self.z[p] = False
+            self.z[p, q] = True
+            self.r[p] = bool(outcome)
+            return outcome, False
+        # Deterministic outcome: accumulate the product of the stabilizers
+        # whose destabilizer partners anticommute with Z_q.
+        acc = Pauli.identity(self.n)
+        for i in range(n):
+            if self.x[i, q]:
+                acc = acc * self._row_pauli(i + n)
+        outcome = int(acc.phase == 2)
+        if forced is not None and forced != outcome:
+            raise RuntimeError("forced outcome contradicts deterministic measurement")
+        return outcome, True
+
+    def _row_pauli(self, index: int) -> Pauli:
+        """Tableau row as a signed Pauli.
+
+        An Aaronson–Gottesman row stores Y as (x=1, z=1) with the i factor
+        implicit; converting to the ``i^phase X^x Z^z`` form used by
+        :class:`Pauli` adds one factor of i per Y.
+        """
+        x = self.x[index].copy()
+        z = self.z[index].copy()
+        phase = (2 * int(self.r[index]) + int(np.count_nonzero(x & z))) % 4
+        return Pauli(x, z, phase)
+
+    def reset(self, q: int) -> None:
+        """Reset to |0>."""
+        outcome, _ = self.measure(q)
+        if outcome == 1:
+            self.x_gate(q)
+
+    # ------------------------------------------------------------------
+    # Circuit execution
+    # ------------------------------------------------------------------
+    _GATE_DISPATCH = {
+        "h": "h",
+        "s": "s",
+        "sdg": "sdg",
+        "x": "x_gate",
+        "y": "y_gate",
+        "z": "z_gate",
+        "id": None,
+    }
+
+    def run(self, circuit: Circuit) -> list[int]:
+        """Execute a Clifford circuit, returning the classical register."""
+        if circuit.num_qubits != self.n:
+            raise ValueError("circuit size mismatch")
+        clbits = [0] * circuit.num_clbits
+        for inst in circuit.instructions:
+            if inst.name == "barrier":
+                continue
+            if inst.condition is not None and not inst.condition.evaluate(clbits):
+                continue
+            if inst.name == "measure":
+                outcome, _ = self.measure(inst.qubits[0])
+                clbits[inst.clbits[0]] = outcome
+                continue
+            if inst.name == "reset":
+                self.reset(inst.qubits[0])
+                continue
+            if inst.name == "cx":
+                self.cx(*inst.qubits)
+            elif inst.name == "cz":
+                self.cz(*inst.qubits)
+            elif inst.name == "swap":
+                self.swap(*inst.qubits)
+            elif inst.name in self._GATE_DISPATCH:
+                method = self._GATE_DISPATCH[inst.name]
+                if method is not None:
+                    getattr(self, method)(inst.qubits[0])
+            else:
+                raise ValueError(f"non-Clifford instruction {inst.name!r} in tableau run")
+        return clbits
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def stabilizers(self) -> list[Pauli]:
+        """Current stabilizer generators as signed Pauli operators."""
+        return [self._row_pauli(i) for i in range(self.n, 2 * self.n)]
+
+    def expectation_of_pauli(self, pauli: Pauli) -> int:
+        """<P> for a Pauli observable on a stabilizer state: -1, 0, or +1."""
+        # P anticommutes with some stabilizer -> expectation 0.
+        for stab in self.stabilizers():
+            if not stab.commutes_with(pauli):
+                return 0
+        # Otherwise P (or -P) is in the group; reduce it using destabilizers.
+        acc = Pauli.identity(self.n)
+        for i in range(self.n):
+            destab = Pauli(self.x[i].copy(), self.z[i].copy(), 0)
+            if not destab.commutes_with(pauli):
+                acc = acc * self._row_pauli(i + self.n)
+        if not acc.equal_up_to_phase(pauli):
+            raise RuntimeError("Pauli reduction failed; inconsistent tableau")
+        diff = (pauli.phase - acc.phase) % 4
+        if diff == 0:
+            return 1
+        if diff == 2:
+            return -1
+        raise RuntimeError("non-Hermitian phase in expectation computation")

@@ -1,0 +1,23 @@
+"""Teleoperations: teledata (state) and telegate (gate) primitives."""
+
+from .teledata import TeleportRecord, teleport_qubit, teleport_register
+from .telegate import (
+    CatLink,
+    cat_disentangle,
+    cat_entangle,
+    remote_cnot,
+    remote_cz,
+    remote_toffoli_via_and,
+)
+
+__all__ = [
+    "TeleportRecord",
+    "teleport_qubit",
+    "teleport_register",
+    "CatLink",
+    "cat_disentangle",
+    "cat_entangle",
+    "remote_cnot",
+    "remote_cz",
+    "remote_toffoli_via_and",
+]

@@ -1,0 +1,77 @@
+"""Teledata primitive: quantum state teleportation (paper Fig 1a).
+
+Teleportation moves an unknown state from a source qubit to the remote half
+of a pre-shared Bell pair using two local gates, two measurements, and two
+classically conditioned Pauli corrections — three time steps of quantum
+depth.  The n-qubit version (Sec 3.4 step 1) teleports all qubits in
+parallel, one Bell pair each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..circuits.circuit import Condition
+from ..network.program import DistributedProgram
+
+__all__ = ["TeleportRecord", "teleport_qubit", "teleport_register"]
+
+
+@dataclass(frozen=True)
+class TeleportRecord:
+    """Bookkeeping for one teleported qubit."""
+
+    source: int
+    destination: int
+    clbit_z: int
+    clbit_x: int
+
+
+def teleport_qubit(
+    program: DistributedProgram,
+    source: int,
+    bell_local: int,
+    bell_remote: int,
+    reset_consumed: bool = True,
+) -> TeleportRecord:
+    """Teleport ``source`` onto ``bell_remote``.
+
+    ``bell_local`` must live on the same QPU as ``source``; ``bell_remote``
+    on the destination QPU.  The pair must already be in |Phi+> (use
+    :meth:`DistributedProgram.create_bell_pair`).  After the call the state
+    resides on ``bell_remote``; ``source`` and ``bell_local`` are measured
+    out (and reset when ``reset_consumed``, freeing them for reuse —
+    Sec 3.4 step 2).
+    """
+    owner_src = program.machine.owner(source)
+    if program.machine.owner(bell_local) != owner_src:
+        raise ValueError("bell_local must be co-located with source")
+    if program.machine.owner(bell_remote) == owner_src:
+        raise ValueError("bell_remote must live on a different QPU")
+    program.cx(source, bell_local)
+    program.h(source)
+    clbit_z = program.measure(source)
+    clbit_x = program.measure(bell_local)
+    program.x(bell_remote, condition=Condition((clbit_x,), 1))
+    program.z(bell_remote, condition=Condition((clbit_z,), 1))
+    if reset_consumed:
+        program.reset(source)
+        program.reset(bell_local)
+    return TeleportRecord(source, bell_remote, clbit_z, clbit_x)
+
+
+def teleport_register(
+    program: DistributedProgram,
+    sources: Sequence[int],
+    bell_locals: Sequence[int],
+    bell_remotes: Sequence[int],
+    reset_consumed: bool = True,
+) -> list[TeleportRecord]:
+    """Teleport an n-qubit register in parallel (one Bell pair per qubit)."""
+    if not len(sources) == len(bell_locals) == len(bell_remotes):
+        raise ValueError("register teleport requires matching lengths")
+    return [
+        teleport_qubit(program, s, bl, br, reset_consumed=reset_consumed)
+        for s, bl, br in zip(sources, bell_locals, bell_remotes)
+    ]

@@ -1,0 +1,128 @@
+"""Telegate primitives: remote gates via cat-entanglement (paper Fig 1b, Fig 6).
+
+A telegate applies a gate whose control sits on one QPU and whose target sits
+on another, consuming one pre-shared Bell pair:
+
+1. *cat-entangle*: CX(control -> local Bell half), measure the half, X-correct
+   the remote half — the remote half now mirrors the control's Z value.
+2. apply the gate locally on the remote QPU using the mirror as control.
+3. *cat-disentangle*: H + measure the mirror, Z-correct the original control.
+
+The remote shared-control Toffoli (Fig 6d) keeps its two controls on Alice by
+first ANDing them into a local ancilla with a local Toffoli (parallelisable
+across a bank via Fanout — Sec 3.3), then driving a remote CNOT from the
+ancilla: exactly one Bell pair per Toffoli, matching Table 1 row (b2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import Condition
+from ..network.program import DistributedProgram
+
+__all__ = [
+    "CatLink",
+    "cat_entangle",
+    "cat_disentangle",
+    "remote_cnot",
+    "remote_cz",
+    "remote_toffoli_via_and",
+]
+
+
+@dataclass(frozen=True)
+class CatLink:
+    """An open cat-entanglement: ``mirror`` tracks ``control``'s Z value."""
+
+    control: int
+    mirror: int
+    entangle_clbit: int
+
+
+def cat_entangle(
+    program: DistributedProgram,
+    control: int,
+    bell_local: int,
+    bell_remote: int,
+) -> CatLink:
+    """Copy ``control``'s computational value onto ``bell_remote``.
+
+    ``bell_local`` shares the control's QPU; the pair is consumed.  Returns
+    a :class:`CatLink` that must later be closed with :func:`cat_disentangle`.
+    """
+    owner = program.machine.owner(control)
+    if program.machine.owner(bell_local) != owner:
+        raise ValueError("bell_local must be co-located with control")
+    if program.machine.owner(bell_remote) == owner:
+        raise ValueError("bell_remote must live on a different QPU")
+    program.cx(control, bell_local)
+    clbit = program.measure(bell_local)
+    program.x(bell_remote, condition=Condition((clbit,), 1))
+    program.reset(bell_local)
+    return CatLink(control, bell_remote, clbit)
+
+
+def cat_disentangle(program: DistributedProgram, link: CatLink) -> int:
+    """Close a cat link, returning the disentangling measurement's clbit."""
+    program.h(link.mirror)
+    clbit = program.measure(link.mirror)
+    program.z(link.control, condition=Condition((clbit,), 1))
+    program.reset(link.mirror)
+    return clbit
+
+
+def remote_cnot(
+    program: DistributedProgram,
+    control: int,
+    target: int,
+    bell_local: int,
+    bell_remote: int,
+) -> None:
+    """Teleported CNOT (Fig 1b): one Bell pair, constant depth."""
+    if program.machine.owner(target) != program.machine.owner(bell_remote):
+        raise ValueError("bell_remote must be co-located with target")
+    link = cat_entangle(program, control, bell_local, bell_remote)
+    program.cx(link.mirror, target)
+    cat_disentangle(program, link)
+
+
+def remote_cz(
+    program: DistributedProgram,
+    control: int,
+    target: int,
+    bell_local: int,
+    bell_remote: int,
+) -> None:
+    """Teleported CZ via the same cat construction."""
+    if program.machine.owner(target) != program.machine.owner(bell_remote):
+        raise ValueError("bell_remote must be co-located with target")
+    link = cat_entangle(program, control, bell_local, bell_remote)
+    program.cz(link.mirror, target)
+    cat_disentangle(program, link)
+
+
+def remote_toffoli_via_and(
+    program: DistributedProgram,
+    control_a: int,
+    control_b: int,
+    target: int,
+    and_ancilla: int,
+    bell_local: int,
+    bell_remote: int,
+) -> None:
+    """Remote CCX with both controls on Alice, target on Bob (Fig 6d).
+
+    ``and_ancilla`` is a |0> ancilla on Alice's QPU: a local Toffoli computes
+    the AND of the two controls into it, a teleported CNOT drives the remote
+    target, and a second local Toffoli uncomputes.  One Bell pair total.
+    The two local Toffolis are the shared-control gates that Sec 3.5's
+    Fanout construction parallelises across a bank.
+    """
+    owner = program.machine.owner(control_a)
+    for qubit, what in ((control_b, "control_b"), (and_ancilla, "and_ancilla")):
+        if program.machine.owner(qubit) != owner:
+            raise ValueError(f"{what} must be co-located with control_a")
+    program.ccx(control_a, control_b, and_ancilla)
+    remote_cnot(program, and_ancilla, target, bell_local, bell_remote)
+    program.ccx(control_a, control_b, and_ancilla)

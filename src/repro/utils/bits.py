@@ -1,0 +1,69 @@
+"""Bit-manipulation helpers shared by the simulators.
+
+All simulators in :mod:`repro.sim` index computational-basis states with
+qubit 0 as the *most significant* bit, matching the big-endian tensor-product
+convention ``|q0 q1 ... q_{n-1}>``.  The helpers here convert between integer
+basis-state labels and per-qubit bit values under that convention.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "bit_at",
+    "set_bit",
+    "flip_bit",
+    "bits_to_int",
+    "int_to_bits",
+    "parity",
+    "popcount",
+]
+
+
+def bit_at(value: int, position: int, width: int) -> int:
+    """Return the bit of ``value`` corresponding to qubit ``position``.
+
+    ``width`` is the total number of qubits; qubit 0 is the most significant
+    bit of the ``width``-bit word.
+    """
+    return (value >> (width - 1 - position)) & 1
+
+
+def set_bit(value: int, position: int, width: int, bit: int) -> int:
+    """Return ``value`` with qubit ``position``'s bit forced to ``bit``."""
+    mask = 1 << (width - 1 - position)
+    if bit:
+        return value | mask
+    return value & ~mask
+
+
+def flip_bit(value: int, position: int, width: int) -> int:
+    """Return ``value`` with qubit ``position``'s bit flipped."""
+    return value ^ (1 << (width - 1 - position))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack a big-endian bit sequence (qubit 0 first) into an integer."""
+    out = 0
+    for bit in bits:
+        out = (out << 1) | (bit & 1)
+    return out
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Unpack an integer into a big-endian list of ``width`` bits."""
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def parity(bits: Iterable[int]) -> int:
+    """Return the XOR of the given bits."""
+    out = 0
+    for bit in bits:
+        out ^= bit & 1
+    return out
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    return bin(value).count("1")

@@ -1,0 +1,61 @@
+"""Small statistics helpers: linear fits and binomial confidence intervals.
+
+Used by the Figure 9 analyses (the paper overlays linear fits on the GHZ and
+CSWAP fidelity data) and by the shot-based estimators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "linear_fit", "binomial_stderr", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the fitted line."""
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of a line through the points."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.size < 2:
+        raise ValueError("linear_fit needs at least two matching points")
+    slope, intercept = np.polyfit(xs, ys, 1)
+    predicted = slope * xs + intercept
+    residual = np.sum((ys - predicted) ** 2)
+    total = np.sum((ys - ys.mean()) ** 2)
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=float(r_squared))
+
+
+def binomial_stderr(successes: int, trials: int) -> float:
+    """Standard error of a binomial proportion estimate."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    p = successes / trials
+    return math.sqrt(max(p * (1.0 - p), 0.0) / trials)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    p = successes / trials
+    denom = 1.0 + z**2 / trials
+    center = (p + z**2 / (2 * trials)) / denom
+    half = z * math.sqrt(p * (1.0 - p) / trials + z**2 / (4 * trials**2)) / denom
+    return max(0.0, center - half), min(1.0, center + half)

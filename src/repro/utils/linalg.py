@@ -1,0 +1,187 @@
+"""Dense linear-algebra helpers for states and operators.
+
+These are the numerical workhorses behind the exact (reference) computations
+that every circuit construction in the repository is validated against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import reduce
+
+import numpy as np
+
+__all__ = [
+    "kron_all",
+    "is_unitary",
+    "is_hermitian",
+    "is_density_matrix",
+    "dagger",
+    "partial_trace",
+    "state_fidelity",
+    "purity",
+    "operator_distance",
+    "global_phase_aligned",
+    "allclose_up_to_global_phase",
+    "embed_operator",
+]
+
+_ATOL = 1e-9
+
+
+def kron_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right."""
+    if not matrices:
+        raise ValueError("kron_all requires at least one matrix")
+    return reduce(np.kron, matrices)
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Conjugate transpose."""
+    return matrix.conj().T
+
+
+def is_unitary(matrix: np.ndarray, atol: float = _ATOL) -> bool:
+    """Whether ``matrix`` is unitary within tolerance."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ dagger(matrix), identity, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = _ATOL) -> bool:
+    """Whether ``matrix`` equals its conjugate transpose within tolerance."""
+    matrix = np.asarray(matrix)
+    return bool(np.allclose(matrix, dagger(matrix), atol=atol))
+
+
+def is_density_matrix(matrix: np.ndarray, atol: float = 1e-7) -> bool:
+    """Whether ``matrix`` is Hermitian, PSD, and unit trace."""
+    matrix = np.asarray(matrix)
+    if not is_hermitian(matrix, atol=atol):
+        return False
+    if abs(np.trace(matrix) - 1.0) > atol:
+        return False
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    return bool(eigenvalues.min() > -atol)
+
+
+def partial_trace(rho: np.ndarray, keep: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Trace out all qubits not in ``keep`` from an ``num_qubits``-qubit state.
+
+    ``rho`` may be a density matrix (2^n x 2^n) or a statevector (2^n,); a
+    statevector is promoted to its projector first.  Qubit 0 is the leftmost
+    tensor factor.  The surviving qubits keep their relative order.
+    """
+    rho = np.asarray(rho)
+    dim = 2**num_qubits
+    keep = list(keep)
+    if sorted(set(keep)) != sorted(keep):
+        raise ValueError("duplicate qubits in keep")
+    if rho.ndim == 1:
+        # Statevector fast path: never materialise the full projector.
+        if rho.shape[0] != dim:
+            raise ValueError("statevector size does not match num_qubits")
+        tensor = rho.reshape([2] * num_qubits)
+        tensor = np.moveaxis(tensor, keep, range(len(keep)))
+        block = tensor.reshape(2 ** len(keep), -1)
+        return block @ block.conj().T
+    if rho.shape != (dim, dim):
+        raise ValueError("density matrix size does not match num_qubits")
+    trace_out = [q for q in range(num_qubits) if q not in keep]
+    tensor = rho.reshape([2] * (2 * num_qubits))
+    # Row indices are axes 0..n-1, column indices are axes n..2n-1.
+    for offset, qubit in enumerate(sorted(trace_out)):
+        axis = qubit - offset
+        row_axes = tensor.ndim // 2
+        tensor = np.trace(tensor, axis1=axis, axis2=axis + row_axes)
+    kept = len(keep)
+    # The surviving axes are ordered by original qubit index; permute so the
+    # order follows `keep` as given.
+    order = np.argsort(np.argsort(keep))
+    perm = list(order) + [kept + i for i in order]
+    tensor = tensor.transpose(perm)
+    return tensor.reshape(2**kept, 2**kept)
+
+
+def state_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Uhlmann fidelity F(a, b) between states.
+
+    Accepts statevectors and/or density matrices in either argument and uses
+    the cheapest applicable formula.  Returns a value in [0, 1].
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim == 1 and b.ndim == 1:
+        return float(abs(np.vdot(a, b)) ** 2)
+    if a.ndim == 1:
+        return float(np.real(np.vdot(a, b @ a)))
+    if b.ndim == 1:
+        return float(np.real(np.vdot(b, a @ b)))
+    # General mixed-mixed case: F = (tr sqrt(sqrt(a) b sqrt(a)))^2.
+    eigenvalues, vectors = np.linalg.eigh(a)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    sqrt_a = (vectors * np.sqrt(eigenvalues)) @ vectors.conj().T
+    inner = sqrt_a @ b @ sqrt_a
+    inner_eigenvalues = np.linalg.eigvalsh(inner)
+    inner_eigenvalues = np.clip(inner_eigenvalues, 0.0, None)
+    return float(np.sum(np.sqrt(inner_eigenvalues)) ** 2)
+
+
+def purity(rho: np.ndarray) -> float:
+    """tr(rho^2)."""
+    rho = np.asarray(rho)
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def operator_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Frobenius distance between two operators."""
+    return float(np.linalg.norm(np.asarray(a) - np.asarray(b)))
+
+
+def global_phase_aligned(vector: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Return ``vector`` multiplied by the phase that best aligns it to ``reference``."""
+    overlap = np.vdot(reference, vector)
+    if abs(overlap) < 1e-12:
+        return vector
+    return vector * (overlap.conjugate() / abs(overlap))
+
+
+def allclose_up_to_global_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """Whether two statevectors agree up to a global phase."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    return bool(np.allclose(global_phase_aligned(a, b), b, atol=atol))
+
+
+def embed_operator(op: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Embed an operator acting on ``qubits`` into the full Hilbert space.
+
+    ``op`` acts on ``len(qubits)`` qubits in the order given; the result acts
+    on ``num_qubits`` qubits with identity elsewhere.
+    """
+    qubits = list(qubits)
+    arity = len(qubits)
+    if op.shape != (2**arity, 2**arity):
+        raise ValueError("operator size does not match qubit count")
+    if len(set(qubits)) != arity:
+        raise ValueError("duplicate qubits")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise ValueError("qubit index out of range")
+    tensor = op.reshape([2] * (2 * arity))
+    full = np.eye(2**num_qubits, dtype=complex).reshape([2] * (2 * num_qubits))
+    # Build via einsum-free approach: apply op to identity as a superoperator
+    # would be awkward; instead permute the dense matrix directly.
+    # Order the full space as [targets..., rest...] then kron and permute back.
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    ordered = qubits + rest
+    big = np.kron(op, np.eye(2 ** len(rest), dtype=complex))
+    big = big.reshape([2] * (2 * num_qubits))
+    inverse = np.argsort(ordered)
+    perm = list(inverse) + [num_qubits + i for i in inverse]
+    big = big.transpose(perm)
+    del tensor, full
+    return big.reshape(2**num_qubits, 2**num_qubits)

@@ -1,0 +1,140 @@
+"""Tests for the Sec 5.5 network analysis and Fig 10 bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.network import (
+    DISTILLATION_CODES,
+    bell_pair_depolarized,
+    logical_bell_error_rate,
+    max_parties,
+    remote_cnot_fidelity,
+    remote_cnot_fidelity_floor,
+    teleop_count,
+    teleop_fidelity_bound,
+    teleport_fidelity,
+    teleport_fidelity_floor,
+    total_fidelity_bound,
+)
+
+
+class TestDepolarizedBellPair:
+    def test_p_zero_is_pure_bell(self):
+        rho = bell_pair_depolarized(0.0)
+        phi = np.zeros(4)
+        phi[0] = phi[3] = 1 / np.sqrt(2)
+        assert np.allclose(rho, np.outer(phi, phi))
+
+    def test_p_one_has_maximally_mixed_component(self):
+        rho = bell_pair_depolarized(1.0)
+        assert np.allclose(rho, np.eye(4) / 4)
+
+    def test_unit_trace(self):
+        assert abs(np.trace(bell_pair_depolarized(0.3)) - 1.0) < 1e-12
+
+
+class TestTeleopFidelities:
+    def test_ideal_bell_gives_perfect_cnot(self):
+        control = np.array([0.6, 0.8], dtype=complex)
+        target = np.array([1, 0], dtype=complex)
+        assert remote_cnot_fidelity(control, target, 0.0) == pytest.approx(1.0)
+
+    def test_ideal_bell_gives_perfect_teleport(self):
+        state = np.array([0.6, 0.8j], dtype=complex)
+        assert teleport_fidelity(state, 0.0) == pytest.approx(1.0)
+
+    def test_cnot_floor_matches_appendix_b1(self):
+        # Appendix B.1: minimum 1 - 3p/4, attained at |+>|1>.
+        for p in (0.4, 1.0):
+            floor = remote_cnot_fidelity_floor(p, grid=12)
+            assert floor >= 1 - 0.75 * p - 1e-9
+            assert floor <= 1 - 0.75 * p + 0.02
+
+    def test_cnot_worst_input_is_plus_one(self):
+        plus = np.array([1, 1], dtype=complex) / np.sqrt(2)
+        one = np.array([0, 1], dtype=complex)
+        assert remote_cnot_fidelity(plus, one, 1.0) == pytest.approx(0.25, abs=1e-9)
+
+    def test_teleport_floor_matches_sec55(self):
+        for p in (0.5, 1.0):
+            floor = teleport_fidelity_floor(p, grid=16)
+            assert floor == pytest.approx(1 - p / 2, abs=1e-9)
+
+    def test_analytic_bounds(self):
+        assert teleop_fidelity_bound(0.1, "cnot") == pytest.approx(0.925)
+        assert teleop_fidelity_bound(0.1, "teledata") == pytest.approx(0.95)
+        with pytest.raises(ValueError):
+            teleop_fidelity_bound(0.1, "bogus")
+
+
+class TestProtocolBound:
+    def test_teleop_count_teledata(self):
+        counts = teleop_count(2, 5, "teledata")
+        assert counts["teledata"] == 2 * 2 * 4
+        assert counts["telegate"] == 2  # ceil(5/2)-1 GHZ links
+
+    def test_teleop_count_telegate(self):
+        counts = teleop_count(2, 5, "telegate")
+        assert counts["teledata"] == 0
+        assert counts["telegate"] == 3 * 2 * 4 + 2
+
+    def test_bound_decreases_with_k(self):
+        assert total_fidelity_bound(10, 8, 1e-4) < total_fidelity_bound(10, 4, 1e-4)
+
+    def test_bound_decreases_with_p(self):
+        assert total_fidelity_bound(10, 4, 1e-3) < total_fidelity_bound(10, 4, 1e-5)
+
+    def test_noiseless_bound_is_one(self):
+        assert total_fidelity_bound(10, 4, 0.0) == 1.0
+
+    def test_max_parties_monotone_in_p(self):
+        ks = [max_parties(p, 1e-3, n=100) for p in (1e-8, 1e-6, 1e-4)]
+        assert ks[0] >= ks[1] >= ks[2]
+
+    def test_max_parties_monotone_in_eps(self):
+        k_tight = max_parties(1e-6, 1e-4, n=100)
+        k_loose = max_parties(1e-6, 1e-2, n=100)
+        assert k_loose >= k_tight
+
+    def test_max_parties_scales_inversely_with_n(self):
+        k_small_n = max_parties(1e-6, 1e-3, n=10)
+        k_large_n = max_parties(1e-6, 1e-3, n=1000)
+        assert k_small_n > k_large_n
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            max_parties(1e-6, 0.0)
+
+
+class TestDistillationCodes:
+    def test_five_codes(self):
+        assert len(DISTILLATION_CODES) == 5
+
+    def test_lp_544_lands_near_1e6(self):
+        # The calibration anchor from Sec 5.5.
+        lp = next(c for c in DISTILLATION_CODES if c.num_physical == 544)
+        rate = logical_bell_error_rate(lp)
+        assert 3e-7 < rate < 3e-6
+
+    def test_higher_distance_lower_error(self):
+        rates = {}
+        for code in DISTILLATION_CODES:
+            rates[code.distance] = logical_bell_error_rate(code)
+        assert rates[8] > rates[12] > rates[16] > rates[20]
+
+    def test_code_rate(self):
+        lp = next(c for c in DISTILLATION_CODES if c.num_physical == 544)
+        assert lp.rate == pytest.approx(80 / 544)
+
+    def test_label_format(self):
+        lp = next(c for c in DISTILLATION_CODES if c.num_physical == 544)
+        assert lp.label() == "LP [[544, 80, 12]]"
+
+    def test_better_codes_admit_more_qpus(self):
+        # The Fig 10 story: lower logical Bell error -> larger k.
+        ordered = sorted(DISTILLATION_CODES, key=logical_bell_error_rate)
+        ks = [
+            max_parties(logical_bell_error_rate(c), 1e-3, n=100, k_cap=100000)
+            for c in ordered
+        ]
+        assert all(ks[i] >= ks[i + 1] for i in range(len(ks) - 1))

@@ -1,0 +1,102 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_at,
+    bits_to_int,
+    flip_bit,
+    int_to_bits,
+    parity,
+    popcount,
+    set_bit,
+)
+
+
+class TestBitAt:
+    def test_msb_is_qubit_zero(self):
+        assert bit_at(0b100, 0, 3) == 1
+        assert bit_at(0b100, 1, 3) == 0
+        assert bit_at(0b100, 2, 3) == 0
+
+    def test_lsb_is_last_qubit(self):
+        assert bit_at(0b001, 2, 3) == 1
+
+    def test_all_positions(self):
+        value = 0b1011
+        assert [bit_at(value, i, 4) for i in range(4)] == [1, 0, 1, 1]
+
+
+class TestSetFlip:
+    def test_set_bit_on(self):
+        assert set_bit(0b000, 1, 3, 1) == 0b010
+
+    def test_set_bit_off(self):
+        assert set_bit(0b111, 1, 3, 0) == 0b101
+
+    def test_set_bit_idempotent(self):
+        assert set_bit(0b010, 1, 3, 1) == 0b010
+
+    def test_flip_bit(self):
+        assert flip_bit(0b000, 0, 3) == 0b100
+        assert flip_bit(0b100, 0, 3) == 0b000
+
+
+class TestConversions:
+    def test_bits_to_int(self):
+        assert bits_to_int([1, 0, 1]) == 0b101
+
+    def test_int_to_bits(self):
+        assert int_to_bits(0b101, 3) == [1, 0, 1]
+
+    def test_int_to_bits_pads(self):
+        assert int_to_bits(1, 4) == [0, 0, 0, 1]
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 12)) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=12))
+    def test_roundtrip_bits(self, bits):
+        assert int_to_bits(bits_to_int(bits), len(bits)) == bits
+
+
+class TestParityPopcount:
+    def test_parity_empty(self):
+        assert parity([]) == 0
+
+    def test_parity_odd(self):
+        assert parity([1, 0, 1, 1]) == 1
+
+    def test_parity_even(self):
+        assert parity([1, 1]) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=20))
+    def test_parity_matches_sum(self, bits):
+        assert parity(bits) == sum(bits) % 2
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_popcount_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestBitAtSetConsistency:
+    @given(
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_set_then_read(self, value, position, bit):
+        assert bit_at(set_bit(value, position, 10, bit), position, 10) == bit
+
+    @given(
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=9),
+    )
+    def test_flip_changes_exactly_one(self, value, position):
+        flipped = flip_bit(value, position, 10)
+        diffs = [
+            i for i in range(10) if bit_at(value, i, 10) != bit_at(flipped, i, 10)
+        ]
+        assert diffs == [position]

@@ -1,0 +1,125 @@
+"""Tests for the two-party CSWAP designs (telegate / teledata)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.core.cswap import DESIGNS, alloc_workspace, two_party_cswap
+from repro.network import DistributedProgram, line_topology
+from repro.sim import StatevectorSimulator
+from repro.utils import kron_all, partial_trace, random_pure_state
+
+RNG = np.random.default_rng(61)
+ZERO = np.array([1, 0], dtype=complex)
+
+
+def setup_program(n, design):
+    prog = DistributedProgram(line_topology(["A", "B"]))
+    (control,) = prog.alloc("A", "ctl", 1)
+    xs = prog.alloc("A", "x", n)
+    ys = prog.alloc("B", "y", n)
+    ws_a = alloc_workspace(prog, "A", n, design, is_controller=True)
+    ws_b = alloc_workspace(prog, "B", n, design, is_controller=False)
+    return prog, control, xs, ys, ws_a, ws_b
+
+
+def matches_ideal_cswap(prog, control, xs, ys, n, trials=3, repetitions=1):
+    circuit = prog.build()
+    nq = circuit.num_qubits
+    data = [control] + list(xs) + list(ys)
+    ideal = Circuit(1 + 2 * n)
+    for _ in range(repetitions):
+        for l in range(n):
+            ideal.cswap(0, 1 + l, 1 + n + l)
+    u = ideal.to_unitary()
+    for _ in range(trials):
+        psi = random_pure_state(1 + 2 * n, RNG)
+        init = kron_all([psi] + [ZERO] * (nq - len(data)))
+        result = StatevectorSimulator(seed=int(RNG.integers(1e9))).run(
+            circuit, initial_state=init
+        )
+        rho = partial_trace(result.statevector, data, nq)
+        want = u @ psi
+        if not np.allclose(rho, np.outer(want, want.conj()), atol=1e-8):
+            return False
+    return True
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("design", DESIGNS)
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_matches_ideal(self, design, n):
+        prog, control, xs, ys, ws_a, ws_b = setup_program(n, design)
+        two_party_cswap(prog, control, xs, ys, ws_a, ws_b, design=design)
+        assert matches_ideal_cswap(prog, control, xs, ys, n)
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_two_sequential_cswaps_cancel(self, design):
+        # Applying the CSWAP twice with workspace reuse must be the identity
+        # — this exercises the Sec 3.6 reuse discipline end to end.
+        prog, control, xs, ys, ws_a, ws_b = setup_program(1, design)
+        two_party_cswap(prog, control, xs, ys, ws_a, ws_b, design=design)
+        two_party_cswap(prog, control, xs, ys, ws_a, ws_b, design=design)
+        assert matches_ideal_cswap(prog, control, xs, ys, 1, repetitions=2)
+
+
+class TestResourceCounts:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_teledata_bell_pairs_2n(self, n):
+        prog, control, xs, ys, ws_a, ws_b = setup_program(n, "teledata")
+        report = two_party_cswap(prog, control, xs, ys, ws_a, ws_b, design="teledata")
+        assert report.bell_pairs == 2 * n
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_telegate_bell_pairs_3n(self, n):
+        prog, control, xs, ys, ws_a, ws_b = setup_program(n, "telegate")
+        report = two_party_cswap(prog, control, xs, ys, ws_a, ws_b, design="telegate")
+        assert report.bell_pairs == 3 * n
+
+    def test_ledger_matches_report(self):
+        prog, control, xs, ys, ws_a, ws_b = setup_program(2, "teledata")
+        report = two_party_cswap(prog, control, xs, ys, ws_a, ws_b, design="teledata")
+        assert prog.ledger.logical == report.bell_pairs
+
+    def test_teledata_workspace_has_dest(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        ws = alloc_workspace(prog, "A", 3, "teledata", is_controller=True)
+        assert len(ws.dest) == 3 and not ws.and_ancillas
+
+    def test_telegate_workspace_has_and(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        ws = alloc_workspace(prog, "A", 3, "telegate", is_controller=True)
+        assert len(ws.and_ancillas) == 3 and not ws.dest
+
+    def test_non_controller_workspace_minimal(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        ws = alloc_workspace(prog, "B", 3, "teledata", is_controller=False)
+        assert not ws.fanout and not ws.dest and len(ws.bell_slots) == 3
+
+
+class TestValidation:
+    def test_invalid_design(self):
+        prog, control, xs, ys, ws_a, ws_b = setup_program(1, "teledata")
+        with pytest.raises(ValueError):
+            two_party_cswap(prog, control, xs, ys, ws_a, ws_b, design="bogus")
+
+    def test_width_mismatch(self):
+        prog, control, xs, ys, ws_a, ws_b = setup_program(1, "teledata")
+        with pytest.raises(ValueError):
+            two_party_cswap(prog, control, xs, ys + [0], ws_a, ws_b)
+
+    def test_control_must_be_on_alice(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (control,) = prog.alloc("B", "ctl", 1)  # wrong side
+        xs = prog.alloc("A", "x", 1)
+        ys = prog.alloc("B", "y", 1)
+        ws_a = alloc_workspace(prog, "A", 1, "teledata", is_controller=True)
+        ws_b = alloc_workspace(prog, "B", 1, "teledata", is_controller=False)
+        with pytest.raises(ValueError):
+            two_party_cswap(prog, control, xs, ys, ws_a, ws_b)
+
+    def test_locality_of_both_designs(self):
+        for design in DESIGNS:
+            prog, control, xs, ys, ws_a, ws_b = setup_program(1, design)
+            two_party_cswap(prog, control, xs, ys, ws_a, ws_b, design=design)
+            assert prog.audit_locality().is_local

@@ -1,0 +1,152 @@
+"""Tests for the interleaved arrangement and cyclic-shift decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cyclic_shift import (
+    cyclic_shift_unitary,
+    induced_state_cycle,
+    interleaved_arrangement,
+    multivariate_trace,
+    permutation_unitary,
+    round_position_pairs,
+    slot_assignment,
+    trace_order,
+)
+from repro.utils import kron_all, random_density_matrix
+
+RNG = np.random.default_rng(11)
+
+
+class TestArrangement:
+    def test_small_cases(self):
+        assert interleaved_arrangement(2) == [0, 1]
+        assert interleaved_arrangement(4) == [0, 3, 1, 2]
+        assert interleaved_arrangement(5) == [0, 4, 1, 3, 2]
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_is_permutation(self, k):
+        assert sorted(interleaved_arrangement(k)) == list(range(k))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            interleaved_arrangement(0)
+
+
+class TestRounds:
+    @given(st.integers(min_value=2, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_total_transpositions_is_k_minus_one(self, k):
+        round1, round2 = round_position_pairs(k)
+        assert len(round1) + len(round2) == k - 1
+
+    @given(st.integers(min_value=2, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_rounds_are_disjoint_within(self, k):
+        for pairs in round_position_pairs(k):
+            touched = [q for pair in pairs for q in pair]
+            assert len(touched) == len(set(touched))
+
+    @given(st.integers(min_value=2, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_pairs_are_adjacent_positions(self, k):
+        for pairs in round_position_pairs(k):
+            assert all(b == a + 1 for a, b in pairs)
+
+
+class TestInducedCycle:
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_single_k_cycle(self, k):
+        perm = induced_state_cycle(k)
+        seen = set()
+        current = 0
+        for _ in range(k):
+            seen.add(current)
+            current = perm[current]
+        assert seen == set(range(k)) and current == 0
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_it_is_the_shift_by_one(self, k):
+        perm = induced_state_cycle(k)
+        assert perm == [(i + 1) % k for i in range(k)]
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_trace_order_starts_at_zero(self, k):
+        order = trace_order(k)
+        assert order[0] == 0 and sorted(order) == list(range(k))
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_slot_assignment_inverts_trace_order(self, k):
+        order = trace_order(k)
+        assignment = slot_assignment(k)
+        for position, slot in enumerate(order):
+            assert assignment[slot] == position
+
+
+class TestPermutationUnitary:
+    def test_identity_perm(self):
+        u = permutation_unitary([0, 1], [2, 2])
+        assert np.allclose(u, np.eye(4))
+
+    def test_swap_two_factors(self):
+        u = permutation_unitary([1, 0], [2, 2])
+        swap = np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=float
+        )
+        assert np.allclose(u, swap)
+
+    def test_unitary_property(self):
+        u = cyclic_shift_unitary(3, 1)
+        assert np.allclose(u @ u.conj().T, np.eye(8))
+
+    def test_mixed_dimensions(self):
+        u = permutation_unitary([1, 0], [2, 4])
+        assert u.shape == (8, 8)
+        assert np.allclose(u @ u.T, np.eye(8))
+
+    def test_bad_perm_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_unitary([0, 0], [2, 2])
+
+
+class TestTraceIdentity:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_cyclic_identity_single_qubit(self, k):
+        states = [random_density_matrix(1, rng=RNG) for _ in range(k)]
+        w = cyclic_shift_unitary(k, 1)
+        lhs = np.trace(w @ kron_all(states))
+        rhs = multivariate_trace(states, trace_order(k))
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_cyclic_identity_two_qubit(self):
+        k = 3
+        states = [random_density_matrix(2, rng=RNG) for _ in range(k)]
+        w = cyclic_shift_unitary(k, 2)
+        lhs = np.trace(w @ kron_all(states))
+        rhs = multivariate_trace(states, trace_order(k))
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_slot_assignment_gives_user_order(self, k):
+        states = [random_density_matrix(1, rng=RNG) for _ in range(k)]
+        assignment = slot_assignment(k)
+        slot_states = [states[assignment[s]] for s in range(k)]
+        w = cyclic_shift_unitary(k, 1)
+        lhs = np.trace(w @ kron_all(slot_states))
+        rhs = multivariate_trace(states)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_trace_of_copies_is_purity_power(self):
+        rho = random_density_matrix(1, rng=RNG)
+        value = multivariate_trace([rho, rho, rho])
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert np.allclose(value, np.sum(eigenvalues**3), atol=1e-10)
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            multivariate_trace([])

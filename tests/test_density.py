@@ -1,0 +1,136 @@
+"""Unit tests for the density-matrix simulator and noise model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Condition
+from repro.sim import DensitySimulator, NoiseModel, StatevectorSimulator
+from repro.sim.noisemodel import depolarizing_kraus
+from repro.utils import ghz_state, random_pure_state, state_fidelity
+
+RNG = np.random.default_rng(5)
+
+
+class TestNoiseModel:
+    def test_from_base_scaling(self):
+        model = NoiseModel.from_base(0.01)
+        assert model.p1 == pytest.approx(0.001)
+        assert model.p2 == pytest.approx(0.01)
+        assert model.p_meas == pytest.approx(0.01)
+
+    def test_noiseless_flag(self):
+        assert NoiseModel.noiseless().is_noiseless
+        assert not NoiseModel.from_base(0.01).is_noiseless
+
+    def test_gate_error_rate_by_arity(self):
+        model = NoiseModel(p1=0.1, p2=0.2, p_meas=0.0)
+        assert model.gate_error_rate(1) == 0.1
+        assert model.gate_error_rate(2) == 0.2
+        assert model.gate_error_rate(3) == 0.2
+
+    def test_kraus_completeness_1q(self):
+        kraus = depolarizing_kraus(0.3, 1)
+        total = sum(k.conj().T @ k for k in kraus)
+        assert np.allclose(total, np.eye(2))
+
+    def test_kraus_completeness_2q(self):
+        kraus = depolarizing_kraus(0.2, 2)
+        total = sum(k.conj().T @ k for k in kraus)
+        assert np.allclose(total, np.eye(4))
+
+    def test_fault_sampling_rate(self):
+        model = NoiseModel(p1=1.0, p2=1.0, p_meas=0.0)
+        rng = np.random.default_rng(0)
+        faults = model.sample_gate_fault([0], rng)
+        assert faults and faults[0][0] == 0
+
+    def test_fault_sampling_zero_rate(self):
+        model = NoiseModel.noiseless()
+        rng = np.random.default_rng(0)
+        assert model.sample_gate_fault([0, 1], rng) == []
+
+
+class TestDensityUnitaries:
+    def test_matches_statevector_on_unitary_circuit(self):
+        circuit = Circuit(3).h(0).cx(0, 1).t(2).cz(1, 2).swap(0, 2)
+        psi = random_pure_state(3, RNG)
+        rho_out = DensitySimulator().run(circuit, initial_state=psi).final_density()
+        sv = StatevectorSimulator().run(circuit, initial_state=psi).statevector
+        assert np.allclose(rho_out, np.outer(sv, sv.conj()), atol=1e-10)
+
+    def test_accepts_density_input(self):
+        rho_in = np.eye(2) / 2
+        out = DensitySimulator().run(Circuit(1).h(0), initial_state=rho_in).final_density()
+        assert np.allclose(out, np.eye(2) / 2)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            DensitySimulator().run(Circuit(2), initial_state=np.ones(2) / np.sqrt(2))
+
+
+class TestDensityMeasurement:
+    def test_branch_probabilities(self):
+        c = Circuit(1, 1).h(0).measure(0, 0)
+        result = DensitySimulator().run(c)
+        probs = result.branch_probabilities()
+        assert probs[(0,)] == pytest.approx(0.5)
+        assert probs[(1,)] == pytest.approx(0.5)
+
+    def test_feedback_is_exact(self):
+        # Teleportation with feedback must be deterministic in density form.
+        c = Circuit(3, 2)
+        c.h(1).cx(1, 2)
+        c.cx(0, 1).h(0)
+        c.measure(0, 0).measure(1, 1)
+        c.x(2, condition=Condition((1,), 1))
+        c.z(2, condition=Condition((0,), 1))
+        psi = random_pure_state(1, RNG)
+        init = np.kron(psi, np.array([1, 0, 0, 0], dtype=complex))
+        rho = DensitySimulator().run(c, initial_state=init).final_density()
+        from repro.utils import partial_trace
+
+        out = partial_trace(rho, [2], 3)
+        assert state_fidelity(psi, out) > 1 - 1e-9
+
+    def test_measurement_error_mixes_record(self):
+        c = Circuit(1, 1).measure(0, 0)
+        sim = DensitySimulator(noise=NoiseModel(p1=0, p2=0, p_meas=0.25))
+        probs = sim.run(c).branch_probabilities()
+        assert probs[(1,)] == pytest.approx(0.25)
+
+    def test_reset_collapses(self):
+        c = Circuit(1).h(0).reset(0)
+        rho = DensitySimulator().run(c).final_density()
+        assert rho[0, 0] == pytest.approx(1.0)
+
+
+class TestDensityNoise:
+    def test_depolarizing_drives_to_mixed(self):
+        c = Circuit(1)
+        for _ in range(60):
+            c.x(0)
+        sim = DensitySimulator(noise=NoiseModel(p1=0.5, p2=0.5, p_meas=0.0))
+        rho = sim.run(c).final_density()
+        assert abs(rho[0, 0] - 0.5) < 0.05
+
+    def test_two_qubit_noise_applies(self):
+        c = Circuit(2).cx(0, 1)
+        sim = DensitySimulator(noise=NoiseModel(p1=0.0, p2=0.4, p_meas=0.0))
+        rho = sim.run(c).final_density()
+        purity = float(np.real(np.trace(rho @ rho)))
+        assert purity < 0.99
+
+    def test_noiseless_matches_exact(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        rho = DensitySimulator(noise=NoiseModel.noiseless()).run(c).final_density()
+        bell = ghz_state(2)
+        assert np.allclose(rho, np.outer(bell, bell.conj()), atol=1e-10)
+
+    def test_ghz_fidelity_decreases_with_noise(self):
+        target = ghz_state(2)
+        fidelities = []
+        for p in (0.0, 0.05, 0.2):
+            sim = DensitySimulator(noise=NoiseModel.from_base(p))
+            rho = sim.run(Circuit(2).h(0).cx(0, 1)).final_density()
+            fidelities.append(float(np.real(np.vdot(target, rho @ target))))
+        assert fidelities[0] > fidelities[1] > fidelities[2]

@@ -1,0 +1,228 @@
+"""Tests for constant-depth Fanout and shared-control banks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.fanout import (
+    append_fanout,
+    append_parallel_cswap,
+    append_parallel_toffoli_bank,
+    fanout_ancillas_required,
+    toffoli_decomposition_ops,
+)
+from repro.network import DistributedProgram
+from repro.sim import StatevectorSimulator
+from repro.utils import kron_all, partial_trace, random_pure_state
+
+RNG = np.random.default_rng(31)
+ZERO = np.array([1, 0], dtype=complex)
+
+
+def mono():
+    p = DistributedProgram()
+    p.add_qpu("m")
+    return p
+
+
+def check_matches_ideal(program, data_qubits, ideal: Circuit, trials=4):
+    circuit = program.build()
+    nq = circuit.num_qubits
+    width = len(data_qubits)
+    u = ideal.to_unitary()
+    for _ in range(trials):
+        psi = random_pure_state(width, RNG)
+        init = kron_all([psi] + [ZERO] * (nq - width))
+        result = StatevectorSimulator(seed=int(RNG.integers(1e9))).run(
+            circuit, initial_state=init
+        )
+        rho = partial_trace(result.statevector, data_qubits, nq)
+        want = u @ psi
+        if not np.allclose(rho, np.outer(want, want.conj()), atol=1e-8):
+            return False
+    return True
+
+
+class TestAncillaMath:
+    def test_zero_for_single_target(self):
+        assert fanout_ancillas_required(1) == 0
+
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 4), (4, 4), (5, 6), (8, 8)])
+    def test_one_per_target_rounded(self, n, expected):
+        assert fanout_ancillas_required(n) == expected
+
+
+class TestFanout:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_matches_parallel_cx(self, n):
+        p = mono()
+        (c,) = p.alloc("m", "c", 1)
+        ts = p.alloc("m", "t", n)
+        anc = p.alloc("m", "a", fanout_ancillas_required(n))
+        plan = append_fanout(p, c, ts, anc, reset_ancillas=False)
+        ideal = Circuit(1 + n)
+        for i in range(n):
+            ideal.cx(0, 1 + i)
+        assert plan.used_measurement
+        assert check_matches_ideal(p, [c] + ts, ideal)
+
+    def test_depth_constant_in_targets(self):
+        depths = []
+        for n in (2, 4, 8, 16):
+            p = mono()
+            (c,) = p.alloc("m", "c", 1)
+            ts = p.alloc("m", "t", n)
+            anc = p.alloc("m", "a", fanout_ancillas_required(n))
+            append_fanout(p, c, ts, anc)
+            depths.append(p.build().depth())
+        assert max(depths) - min(depths) <= 1
+
+    def test_fallback_without_ancillas(self):
+        p = mono()
+        (c,) = p.alloc("m", "c", 1)
+        ts = p.alloc("m", "t", 3)
+        plan = append_fanout(p, c, ts, [])
+        assert not plan.used_measurement
+        assert plan.copy_layers == 3
+        ideal = Circuit(4)
+        for i in range(3):
+            ideal.cx(0, 1 + i)
+        assert check_matches_ideal(p, [c] + ts, ideal)
+
+    def test_single_target_direct(self):
+        p = mono()
+        (c,) = p.alloc("m", "c", 1)
+        ts = p.alloc("m", "t", 1)
+        plan = append_fanout(p, c, ts, [0])
+        assert not plan.used_measurement
+
+    def test_empty_targets_noop(self):
+        p = mono()
+        (c,) = p.alloc("m", "c", 1)
+        plan = append_fanout(p, c, [], [])
+        assert plan.targets == ()
+        assert len(p.build()) == 0
+
+    def test_control_in_targets_rejected(self):
+        p = mono()
+        (c,) = p.alloc("m", "c", 1)
+        with pytest.raises(ValueError):
+            append_fanout(p, c, [c], [])
+
+    def test_ancilla_reset_allows_reuse(self):
+        p = mono()
+        (c,) = p.alloc("m", "c", 1)
+        ts = p.alloc("m", "t", 2)
+        anc = p.alloc("m", "a", 2)
+        append_fanout(p, c, ts, anc, reset_ancillas=True)
+        append_fanout(p, c, ts, anc, reset_ancillas=True)
+        ideal = Circuit(3)  # two fanouts cancel
+        assert check_matches_ideal(p, [c] + ts, ideal)
+
+
+class TestToffoliDecomposition:
+    def test_seven_t_gates(self):
+        ops = toffoli_decomposition_ops()
+        t_count = sum(1 for name, _ in ops if name in ("t", "tdg"))
+        assert t_count == 7
+
+    def test_four_shared_control_cnots(self):
+        ops = toffoli_decomposition_ops()
+        from_a = sum(1 for name, wires in ops if name == "cx" and wires[0] == "a")
+        assert from_a == 4
+
+    def test_exact_unitary(self):
+        from repro.fanout.parallel_toffoli import _append_single_toffoli
+
+        p = mono()
+        q = p.alloc("m", "q", 3)
+        _append_single_toffoli(p, q[0], q[1], q[2])
+        u = p.build().to_unitary()
+        assert np.allclose(u, Circuit(3).ccx(0, 1, 2).to_unitary(), atol=1e-10)
+
+
+class TestToffoliBank:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_bank_matches_product_of_ccx(self, n):
+        p = mono()
+        (a,) = p.alloc("m", "a", 1)
+        bs = p.alloc("m", "b", n)
+        ts = p.alloc("m", "t", n)
+        anc = p.alloc("m", "anc", fanout_ancillas_required(n))
+        plan = append_parallel_toffoli_bank(p, a, list(zip(bs, ts)), anc)
+        ideal = Circuit(1 + 2 * n)
+        for l in range(n):
+            ideal.ccx(0, 1 + l, 1 + n + l)
+        assert plan.num_fanouts == 4
+        assert check_matches_ideal(p, [a] + bs + ts, ideal)
+
+    def test_bank_without_fanout(self):
+        p = mono()
+        (a,) = p.alloc("m", "a", 1)
+        bs = p.alloc("m", "b", 2)
+        ts = p.alloc("m", "t", 2)
+        plan = append_parallel_toffoli_bank(p, a, list(zip(bs, ts)), use_fanout=False)
+        assert plan.num_fanouts == 0
+        ideal = Circuit(5)
+        for l in range(2):
+            ideal.ccx(0, 1 + l, 3 + l)
+        assert check_matches_ideal(p, [a] + bs + ts, ideal)
+
+    def test_duplicate_wires_rejected(self):
+        p = mono()
+        q = p.alloc("m", "q", 3)
+        with pytest.raises(ValueError):
+            append_parallel_toffoli_bank(p, q[0], [(q[1], q[1])])
+
+    def test_empty_bank(self):
+        p = mono()
+        (a,) = p.alloc("m", "a", 1)
+        plan = append_parallel_toffoli_bank(p, a, [])
+        assert plan.num_fanouts == 0 and len(p.build()) == 0
+
+    def test_bank_depth_constant(self):
+        # Depth saturates at a constant (small boundary effects below n=6).
+        depths = []
+        for n in (6, 12, 32):
+            p = mono()
+            (a,) = p.alloc("m", "a", 1)
+            bs = p.alloc("m", "b", n)
+            ts = p.alloc("m", "t", n)
+            anc = p.alloc("m", "anc", fanout_ancillas_required(n))
+            append_parallel_toffoli_bank(p, a, list(zip(bs, ts)), anc)
+            depths.append(p.build().depth())
+        assert max(depths) == min(depths)
+
+    def test_sequential_depth_grows(self):
+        depths = []
+        for n in (2, 6):
+            p = mono()
+            (a,) = p.alloc("m", "a", 1)
+            bs = p.alloc("m", "b", n)
+            ts = p.alloc("m", "t", n)
+            append_parallel_toffoli_bank(p, a, list(zip(bs, ts)), use_fanout=False)
+            depths.append(p.build().depth())
+        assert depths[1] > depths[0] * 2
+
+
+class TestParallelCswap:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_matches_cswap_product(self, n):
+        p = mono()
+        (c,) = p.alloc("m", "c", 1)
+        xs = p.alloc("m", "x", n)
+        ys = p.alloc("m", "y", n)
+        anc = p.alloc("m", "anc", fanout_ancillas_required(n))
+        append_parallel_cswap(p, c, xs, ys, anc)
+        ideal = Circuit(1 + 2 * n)
+        for l in range(n):
+            ideal.cswap(0, 1 + l, 1 + n + l)
+        assert check_matches_ideal(p, [c] + xs + ys, ideal)
+
+    def test_length_mismatch(self):
+        p = mono()
+        (c,) = p.alloc("m", "c", 1)
+        xs = p.alloc("m", "x", 2)
+        ys = p.alloc("m", "y", 1)
+        with pytest.raises(ValueError):
+            append_parallel_cswap(p, c, xs, ys)

@@ -1,0 +1,121 @@
+"""Tests for GHZ preparation: linear, fused, and distributed."""
+
+import numpy as np
+import pytest
+
+from repro.core.ghz import distributed_ghz, local_ghz_constant_depth, local_ghz_linear
+from repro.network import DistributedProgram, line_topology
+from repro.sim import StatevectorSimulator
+from repro.utils import ghz_state, partial_trace, state_fidelity
+
+RNG = np.random.default_rng(44)
+
+
+def fidelity_of(program, members):
+    circuit = program.build()
+    result = StatevectorSimulator(seed=int(RNG.integers(1e9))).run(circuit)
+    rho = partial_trace(result.statevector, members, circuit.num_qubits)
+    return state_fidelity(ghz_state(len(members)), rho)
+
+
+class TestLinear:
+    @pytest.mark.parametrize("r", [1, 2, 3, 5])
+    def test_produces_ghz(self, r):
+        p = DistributedProgram()
+        p.add_qpu("m")
+        qs = p.alloc("m", "g", r)
+        plan = local_ghz_linear(p, qs)
+        if r == 1:
+            # Single-qubit "GHZ" is |+>.
+            circuit = p.build()
+            sv = StatevectorSimulator(seed=0).run(circuit).statevector
+            assert abs(abs(sv[0]) ** 2 - 0.5) < 1e-9
+        else:
+            assert fidelity_of(p, list(plan.members)) > 1 - 1e-9
+
+    def test_depth_grows_linearly(self):
+        depths = []
+        for r in (3, 6):
+            p = DistributedProgram()
+            p.add_qpu("m")
+            local_ghz_linear(p, p.alloc("m", "g", r))
+            depths.append(p.build().depth())
+        assert depths[1] == depths[0] + 3
+
+    def test_empty_rejected(self):
+        p = DistributedProgram()
+        p.add_qpu("m")
+        with pytest.raises(ValueError):
+            local_ghz_linear(p, [])
+
+
+class TestConstantDepthLocal:
+    @pytest.mark.parametrize("r", [2, 3, 4, 5])
+    def test_produces_ghz(self, r):
+        p = DistributedProgram()
+        p.add_qpu("m")
+        qs = p.alloc("m", "g", r)
+        anc = p.alloc("m", "a", r - 1)
+        plan = local_ghz_constant_depth(p, qs, anc)
+        assert fidelity_of(p, list(plan.members)) > 1 - 1e-9
+
+    def test_depth_constant(self):
+        depths = []
+        for r in (3, 6, 9):
+            p = DistributedProgram()
+            p.add_qpu("m")
+            qs = p.alloc("m", "g", r)
+            anc = p.alloc("m", "a", r - 1)
+            local_ghz_constant_depth(p, qs, anc)
+            depths.append(p.build().depth())
+        assert max(depths) - min(depths) <= 1
+
+    def test_insufficient_ancillas(self):
+        p = DistributedProgram()
+        p.add_qpu("m")
+        qs = p.alloc("m", "g", 4)
+        with pytest.raises(ValueError):
+            local_ghz_constant_depth(p, qs, [])
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_produces_ghz_across_qpus(self, r):
+        names = [f"q{i}" for i in range(r)]
+        p = DistributedProgram(line_topology(names))
+        plan = distributed_ghz(p, names)
+        assert fidelity_of(p, list(plan.members)) > 1 - 1e-9
+
+    def test_members_one_per_qpu(self):
+        names = ["a", "b", "c"]
+        p = DistributedProgram(line_topology(names))
+        plan = distributed_ghz(p, names)
+        owners = [p.machine.owner(m) for m in plan.members]
+        assert owners == names
+
+    def test_bell_pair_per_link(self):
+        names = [f"q{i}" for i in range(4)]
+        p = DistributedProgram(line_topology(names))
+        plan = distributed_ghz(p, names)
+        assert plan.bell_pairs == 3
+        assert p.ledger.logical == 3
+
+    def test_fully_local(self):
+        names = [f"q{i}" for i in range(3)]
+        p = DistributedProgram(line_topology(names))
+        distributed_ghz(p, names)
+        assert p.audit_locality().is_local
+
+    def test_depth_constant_in_parties(self):
+        depths = []
+        for r in (2, 4, 6):
+            names = [f"q{i}" for i in range(r)]
+            p = DistributedProgram(line_topology(names))
+            distributed_ghz(p, names)
+            depths.append(p.build().depth())
+        assert max(depths) - min(depths) <= 1
+
+    def test_single_party(self):
+        p = DistributedProgram(line_topology(["solo"]))
+        plan = distributed_ghz(p, ["solo"])
+        assert len(plan.members) == 1

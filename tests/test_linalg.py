@@ -1,0 +1,195 @@
+"""Unit tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.linalg import (
+    allclose_up_to_global_phase,
+    dagger,
+    embed_operator,
+    is_density_matrix,
+    is_hermitian,
+    is_unitary,
+    kron_all,
+    operator_distance,
+    partial_trace,
+    purity,
+    state_fidelity,
+)
+from repro.utils.states import ghz_state, random_density_matrix, random_pure_state
+
+RNG = np.random.default_rng(1234)
+
+
+class TestPredicates:
+    def test_identity_is_unitary(self):
+        assert is_unitary(np.eye(4))
+
+    def test_nonsquare_not_unitary(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_scaled_identity_not_unitary(self):
+        assert not is_unitary(2 * np.eye(2))
+
+    def test_hermitian(self):
+        assert is_hermitian(np.array([[1, 1j], [-1j, 2]]))
+        assert not is_hermitian(np.array([[1, 1j], [1j, 2]]))
+
+    def test_density_matrix_valid(self):
+        assert is_density_matrix(random_density_matrix(2, rng=RNG))
+
+    def test_density_matrix_trace(self):
+        assert not is_density_matrix(2 * random_density_matrix(1, rng=RNG))
+
+    def test_density_matrix_negative(self):
+        bad = np.diag([1.5, -0.5]).astype(complex)
+        assert not is_density_matrix(bad)
+
+
+class TestKron:
+    def test_kron_all_single(self):
+        m = np.eye(2)
+        assert np.allclose(kron_all([m]), m)
+
+    def test_kron_all_order(self):
+        a = np.diag([1, 2])
+        b = np.diag([3, 4])
+        assert np.allclose(kron_all([a, b]), np.kron(a, b))
+
+    def test_kron_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            kron_all([])
+
+
+class TestPartialTrace:
+    def test_bell_state_reduction(self):
+        bell = ghz_state(2)
+        assert np.allclose(partial_trace(bell, [0], 2), np.eye(2) / 2)
+
+    def test_keep_all(self):
+        psi = random_pure_state(2, RNG)
+        assert np.allclose(partial_trace(psi, [0, 1], 2), np.outer(psi, psi.conj()))
+
+    def test_product_state_factorises(self):
+        a = random_pure_state(1, RNG)
+        b = random_pure_state(1, RNG)
+        joint = np.kron(a, b)
+        assert np.allclose(partial_trace(joint, [0], 2), np.outer(a, a.conj()))
+        assert np.allclose(partial_trace(joint, [1], 2), np.outer(b, b.conj()))
+
+    def test_density_input(self):
+        rho = random_density_matrix(2, rng=RNG)
+        reduced = partial_trace(rho, [0], 2)
+        assert abs(np.trace(reduced) - 1.0) < 1e-9
+        assert is_density_matrix(reduced)
+
+    def test_keep_order_respected(self):
+        a = random_pure_state(1, RNG)
+        b = random_pure_state(1, RNG)
+        joint = np.kron(a, b)
+        swapped = partial_trace(joint, [1, 0], 2)
+        direct = np.kron(np.outer(b, b.conj()), np.outer(a, a.conj()))
+        assert np.allclose(swapped, direct)
+
+    def test_duplicate_keep_raises(self):
+        with pytest.raises(ValueError):
+            partial_trace(ghz_state(2), [0, 0], 2)
+
+    def test_trace_preserved(self):
+        rho = random_density_matrix(3, rng=RNG)
+        reduced = partial_trace(rho, [0, 2], 3)
+        assert abs(np.trace(reduced) - 1.0) < 1e-9
+
+
+class TestFidelity:
+    def test_pure_pure_identical(self):
+        psi = random_pure_state(2, RNG)
+        assert abs(state_fidelity(psi, psi) - 1.0) < 1e-12
+
+    def test_pure_pure_orthogonal(self):
+        a = np.array([1, 0], dtype=complex)
+        b = np.array([0, 1], dtype=complex)
+        assert state_fidelity(a, b) < 1e-12
+
+    def test_pure_mixed_consistency(self):
+        psi = random_pure_state(1, RNG)
+        rho = np.outer(psi, psi.conj())
+        assert abs(state_fidelity(psi, rho) - 1.0) < 1e-9
+
+    def test_mixed_mixed_maximally_mixed(self):
+        rho = np.eye(2) / 2
+        sigma = np.eye(2) / 2
+        assert abs(state_fidelity(rho, sigma) - 1.0) < 1e-9
+
+    def test_symmetry(self):
+        a = random_density_matrix(1, rng=RNG)
+        b = random_density_matrix(1, rng=RNG)
+        assert abs(state_fidelity(a, b) - state_fidelity(b, a)) < 1e-8
+
+    def test_bounds(self):
+        a = random_density_matrix(2, rng=RNG)
+        b = random_density_matrix(2, rng=RNG)
+        f = state_fidelity(a, b)
+        assert -1e-9 <= f <= 1.0 + 1e-9
+
+
+class TestPurity:
+    def test_pure_state_purity(self):
+        psi = random_pure_state(2, RNG)
+        assert abs(purity(np.outer(psi, psi.conj())) - 1.0) < 1e-9
+
+    def test_maximally_mixed_purity(self):
+        assert abs(purity(np.eye(4) / 4) - 0.25) < 1e-12
+
+
+class TestEmbed:
+    def test_single_qubit_embed(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        embedded = embed_operator(x, [1], 2)
+        assert np.allclose(embedded, np.kron(np.eye(2), x))
+
+    def test_embed_first(self):
+        z = np.diag([1, -1]).astype(complex)
+        assert np.allclose(embed_operator(z, [0], 2), np.kron(z, np.eye(2)))
+
+    def test_two_qubit_reversed_order(self):
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        # CX with control q1, target q0.
+        embedded = embed_operator(cx, [1, 0], 2)
+        expect = np.zeros((4, 4))
+        # |q0 q1>: control q1 flips q0: 01->11, 11->01.
+        expect[0b00, 0b00] = 1
+        expect[0b11, 0b01] = 1
+        expect[0b10, 0b10] = 1
+        expect[0b01, 0b11] = 1
+        assert np.allclose(embedded, expect)
+
+    def test_embed_preserves_unitarity(self):
+        u = np.array([[0, 1], [1, 0]], dtype=complex)
+        assert is_unitary(embed_operator(u, [2], 4))
+
+    def test_bad_qubit_raises(self):
+        with pytest.raises(ValueError):
+            embed_operator(np.eye(2), [5], 2)
+
+
+class TestGlobalPhase:
+    def test_phase_aligned(self):
+        psi = random_pure_state(2, RNG)
+        assert allclose_up_to_global_phase(psi * np.exp(1j * 0.7), psi)
+
+    def test_different_states(self):
+        assert not allclose_up_to_global_phase(
+            np.array([1, 0], dtype=complex), np.array([0, 1], dtype=complex)
+        )
+
+    def test_operator_distance(self):
+        assert operator_distance(np.eye(2), np.eye(2)) < 1e-12
+        assert operator_distance(np.eye(2), np.zeros((2, 2))) > 1.0
+
+    def test_dagger(self):
+        m = np.array([[1, 1j], [0, 2]])
+        assert np.allclose(dagger(m), m.conj().T)

@@ -1,0 +1,101 @@
+"""Scheduling tests: moments, barriers, classical dependencies."""
+
+import pytest
+
+from repro.circuits import Circuit, Condition, circuit_depth, circuit_moments
+
+
+class TestMomentGrouping:
+    def test_independent_gates_one_moment(self):
+        c = Circuit(4).h(0).h(1).x(2).z(3)
+        moments = circuit_moments(c)
+        assert len(moments) == 1
+        assert len(moments[0]) == 4
+
+    def test_dependent_gates_chain(self):
+        c = Circuit(2).h(0).cx(0, 1).h(1)
+        moments = circuit_moments(c)
+        assert [len(m) for m in moments] == [1, 1, 1]
+
+    def test_diamond_dependency(self):
+        c = Circuit(3)
+        c.h(1)
+        c.cx(1, 0)
+        c.cx(1, 2)
+        moments = circuit_moments(c)
+        assert [len(m) for m in moments] == [1, 1, 1]
+
+    def test_gates_pack_asap(self):
+        c = Circuit(3)
+        c.cx(0, 1)
+        c.h(2)  # independent -> packs into moment 0
+        moments = circuit_moments(c)
+        assert len(moments[0]) == 2
+
+    def test_empty_circuit(self):
+        assert circuit_moments(Circuit(3)) == []
+
+
+class TestBarriers:
+    def test_barrier_blocks_packing(self):
+        c = Circuit(2)
+        c.h(0)
+        c.barrier()
+        c.h(1)
+        assert circuit_depth(c) == 2
+
+    def test_partial_barrier_only_spans_listed_qubits(self):
+        c = Circuit(3)
+        c.h(0)
+        c.barrier([0, 1])
+        c.h(1)  # pushed to layer 1 by the barrier
+        c.h(2)  # untouched by the barrier -> layer 0
+        moments = circuit_moments(c)
+        names_layer0 = {(i.name, i.qubits) for i in moments[0]}
+        assert ("h", (2,)) in names_layer0
+        assert circuit_depth(c) == 2
+
+    def test_barrier_not_a_moment(self):
+        c = Circuit(1)
+        c.barrier()
+        assert circuit_moments(c) == []
+
+
+class TestClassicalDependencies:
+    def test_feedback_waits_for_measurement(self):
+        c = Circuit(3, 1)
+        c.measure(0, 0)
+        c.x(2, condition=Condition((0,), 1))
+        # Qubits 0 and 2 are disjoint, but the classical bit serialises them.
+        assert circuit_depth(c) == 2
+
+    def test_unconditioned_gate_does_not_wait(self):
+        c = Circuit(3, 1)
+        c.measure(0, 0)
+        c.x(2)
+        assert circuit_depth(c) == 1
+
+    def test_two_conditions_wait_for_latest(self):
+        c = Circuit(4, 2)
+        c.measure(0, 0)
+        c.h(1)
+        c.cx(1, 2)
+        c.measure(2, 1)
+        c.x(3, condition=Condition((0, 1), 1))
+        moments = circuit_moments(c)
+        # The conditioned X must be in the final layer.
+        assert moments[-1][0].name == "x"
+
+    def test_measure_depth_toggle(self):
+        c = Circuit(1, 1).h(0).measure(0, 0)
+        assert circuit_depth(c, count_measurements=True) == 2
+        assert circuit_depth(c, count_measurements=False) == 1
+
+    def test_uncounted_measure_still_orders_feedback(self):
+        c = Circuit(2, 1)
+        c.h(0)
+        c.measure(0, 0)
+        c.x(1, condition=Condition((0,), 1))
+        # Even without counting the measurement layer, the X cannot precede
+        # the H on qubit 0's timeline entirely; depth is at least 2 counted.
+        assert circuit_depth(c, count_measurements=True) == 3

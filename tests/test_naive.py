@@ -1,0 +1,65 @@
+"""Tests for the naive distribution scheme (Sec 2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import build_naive_distribution, naive_slice_estimate
+from repro.core.cyclic_shift import multivariate_trace
+from repro.utils import random_density_matrix
+
+RNG = np.random.default_rng(71)
+
+
+class TestBuild:
+    def test_slice_owners_round_robin(self):
+        build = build_naive_distribution(3, 4)
+        assert build.slice_owner == (0, 1, 2, 0)
+
+    def test_slice_registers_collect_k_qubits(self):
+        build = build_naive_distribution(3, 2)
+        assert len(build.slice_registers) == 2
+        assert all(len(r) == 3 for r in build.slice_registers)
+
+    def test_collected_qubits_colocated(self):
+        build = build_naive_distribution(3, 2)
+        for j, reg in enumerate(build.slice_registers):
+            owners = {build.program.machine.owner(q) for q in reg}
+            assert owners == {f"qpu{build.slice_owner[j]}"}
+
+    def test_redistribution_consumes_bells(self):
+        build = build_naive_distribution(4, 4)
+        # Each slice needs k-1 teleports; n slices.
+        assert build.program.ledger.logical == 4 * 3
+
+    def test_physical_cost_exceeds_logical_on_line(self):
+        build = build_naive_distribution(4, 4)
+        ledger = build.program.ledger
+        assert ledger.physical > ledger.logical  # long-range hops stitched
+
+    def test_locality_holds(self):
+        build = build_naive_distribution(3, 2)
+        assert build.program.audit_locality().is_local
+
+    def test_basis_controls_readout(self):
+        with_readout = build_naive_distribution(3, 2, basis="x")
+        without = build_naive_distribution(3, 2, basis=None)
+        assert with_readout.slice_readout and not without.slice_readout
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_naive_distribution(1, 2)
+        with pytest.raises(ValueError):
+            build_naive_distribution(3, 0)
+
+
+class TestEstimation:
+    def test_product_state_estimate(self):
+        # Slice-factorising inputs: the naive scheme is unbiased here.
+        slices = [random_density_matrix(1, rng=RNG) for _ in range(2)]
+        states = [np.kron(slices[0], slices[1]) for _ in range(2)]
+        # Use distinct per-party states that still factorise.
+        other = [random_density_matrix(1, rng=RNG) for _ in range(2)]
+        states[1] = np.kron(other[0], other[1])
+        estimate = naive_slice_estimate(states, shots=3000, seed=2)
+        exact = multivariate_trace(states)
+        assert abs(estimate - exact) < 0.2

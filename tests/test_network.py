@@ -1,0 +1,194 @@
+"""Tests for the distributed machine model: topology, QPUs, Bell ledger, programs."""
+
+import pytest
+
+from repro.circuits import Condition
+from repro.network import (
+    BellLedger,
+    DistributedProgram,
+    Machine,
+    complete_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+
+
+class TestTopologies:
+    def test_line_distances(self):
+        topo = line_topology(["a", "b", "c", "d"])
+        assert topo.distance("a", "d") == 3
+        assert topo.distance("b", "c") == 1
+        assert topo.are_adjacent("a", "b")
+        assert not topo.are_adjacent("a", "c")
+
+    def test_ring_shortcut(self):
+        topo = ring_topology(["a", "b", "c", "d"])
+        assert topo.distance("a", "d") == 1
+
+    def test_star_hub(self):
+        topo = star_topology(["hub", "x", "y", "z"])
+        assert topo.distance("x", "y") == 2
+        assert topo.distance("hub", "z") == 1
+
+    def test_complete_all_adjacent(self):
+        topo = complete_topology(["a", "b", "c"])
+        assert topo.distance("a", "c") == 1
+
+    def test_swapping_cost_equals_distance(self):
+        topo = line_topology(["a", "b", "c"])
+        assert topo.swapping_cost("a", "c") == 2
+
+    def test_path(self):
+        topo = line_topology(["a", "b", "c"])
+        assert topo.path("a", "c") == ["a", "b", "c"]
+
+    def test_unknown_node(self):
+        topo = line_topology(["a", "b"])
+        with pytest.raises(KeyError):
+            topo.distance("a", "zzz")
+
+
+class TestMachine:
+    def test_alloc_assigns_global_indices(self):
+        m = Machine()
+        m.add_qpu("A")
+        m.add_qpu("B")
+        a = m.alloc("A", "data", 2)
+        b = m.alloc("B", "data", 3)
+        assert a == [0, 1] and b == [2, 3, 4]
+        assert m.num_qubits == 5
+
+    def test_owner_lookup(self):
+        m = Machine()
+        m.add_qpu("A")
+        m.alloc("A", "r", 2)
+        assert m.owner(1) == "A"
+        with pytest.raises(KeyError):
+            m.owner(99)
+
+    def test_duplicate_qpu_rejected(self):
+        m = Machine()
+        m.add_qpu("A")
+        with pytest.raises(ValueError):
+            m.add_qpu("A")
+
+    def test_duplicate_register_rejected(self):
+        m = Machine()
+        m.add_qpu("A")
+        m.alloc("A", "r", 1)
+        with pytest.raises(ValueError):
+            m.alloc("A", "r", 1)
+
+    def test_max_qubits_per_qpu(self):
+        m = Machine()
+        m.add_qpu("A")
+        m.add_qpu("B")
+        m.alloc("A", "r", 5)
+        m.alloc("B", "r", 2)
+        assert m.max_qubits_per_qpu() == 5
+
+
+class TestBellLedger:
+    def test_nearest_neighbour_cost(self):
+        topo = line_topology(["a", "b", "c"])
+        ledger = BellLedger(topo)
+        ledger.record("a", "b")
+        assert ledger.logical == 1 and ledger.physical == 1
+
+    def test_long_range_cost(self):
+        topo = line_topology(["a", "b", "c"])
+        ledger = BellLedger(topo)
+        ledger.record("a", "c")
+        assert ledger.logical == 1 and ledger.physical == 2
+
+    def test_per_qpu_halves(self):
+        ledger = BellLedger()
+        ledger.record("a", "b")
+        ledger.record("a", "c")
+        assert ledger.max_per_qpu() == 2
+
+    def test_same_qpu_rejected(self):
+        with pytest.raises(ValueError):
+            BellLedger().record("a", "a")
+
+    def test_summary_links(self):
+        ledger = BellLedger()
+        ledger.record("a", "b")
+        ledger.record("b", "a")
+        assert ledger.summary()["links"] == {"a--b": 2}
+
+
+class TestDistributedProgram:
+    def test_topology_prepopulates_qpus(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        assert set(prog.machine.qpus) == {"A", "B"}
+
+    def test_measure_allocates_clbit(self):
+        prog = DistributedProgram()
+        prog.add_qpu("A")
+        (q,) = prog.alloc("A", "r", 1)
+        c0 = prog.measure(q)
+        c1 = prog.measure(q)
+        assert (c0, c1) == (0, 1)
+        assert prog.num_clbits == 2
+
+    def test_bell_pair_requires_two_qpus(self):
+        prog = DistributedProgram()
+        prog.add_qpu("A")
+        a, b = prog.alloc("A", "r", 2)
+        with pytest.raises(ValueError):
+            prog.create_bell_pair(a, b)
+
+    def test_bell_pair_records_ledger(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (a,) = prog.alloc("A", "r", 1)
+        (b,) = prog.alloc("B", "r", 1)
+        prog.create_bell_pair(a, b)
+        assert prog.ledger.logical == 1
+
+    def test_build_produces_circuit(self):
+        prog = DistributedProgram()
+        prog.add_qpu("A")
+        q = prog.alloc("A", "r", 2)
+        prog.h(q[0]).cx(q[0], q[1])
+        circuit = prog.build()
+        assert circuit.num_qubits == 2
+        assert [i.name for i in circuit] == ["h", "cx"]
+
+    def test_build_range(self):
+        prog = DistributedProgram()
+        prog.add_qpu("A")
+        q = prog.alloc("A", "r", 1)
+        prog.h(q[0])
+        mark = prog.cursor()
+        prog.x(q[0])
+        partial = prog.build_range(mark, prog.cursor())
+        assert [i.name for i in partial] == ["x"]
+
+    def test_locality_flags_cross_qpu_gate(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (a,) = prog.alloc("A", "r", 1)
+        (b,) = prog.alloc("B", "r", 1)
+        prog.cx(a, b)
+        report = prog.audit_locality()
+        assert not report.is_local
+        assert len(report.violations) == 1
+
+    def test_locality_allows_bell_generation(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (a,) = prog.alloc("A", "r", 1)
+        (b,) = prog.alloc("B", "r", 1)
+        prog.create_bell_pair(a, b)
+        report = prog.audit_locality()
+        assert report.is_local
+        assert report.bell_generation_ops == 1
+
+    def test_conditioned_gate_builds(self):
+        prog = DistributedProgram()
+        prog.add_qpu("A")
+        q = prog.alloc("A", "r", 2)
+        clbit = prog.measure(q[0])
+        prog.x(q[1], condition=Condition((clbit,), 1))
+        circuit = prog.build()
+        assert circuit.instructions[-1].condition is not None

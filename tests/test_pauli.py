@@ -1,0 +1,125 @@
+"""Unit and property tests for the Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.pauli import Pauli
+
+LABEL_CHARS = "IXYZ"
+
+
+def labels(max_n=4):
+    return st.text(alphabet=LABEL_CHARS, min_size=1, max_size=max_n)
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = Pauli.identity(3)
+        assert p.is_identity() and p.weight == 0
+
+    def test_from_label_roundtrip(self):
+        for label in ("XIZ", "YYI", "IIII", "Z"):
+            assert Pauli.from_label(label).bare_label() == label
+
+    def test_sign_prefix(self):
+        assert Pauli.from_label("-X").to_label() == "-X"
+        assert Pauli.from_label("+Z").to_label() == "+Z"
+
+    def test_single_factory(self):
+        p = Pauli.single(3, 1, "Y")
+        assert p.bare_label() == "IYI"
+
+    def test_invalid_char(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("XQ")
+
+    def test_weight(self):
+        assert Pauli.from_label("XIYZ").weight == 3
+
+
+class TestMultiplication:
+    def test_xy_equals_iz(self):
+        x = Pauli.from_label("X")
+        y = Pauli.from_label("Y")
+        product = x * y
+        assert product.bare_label() == "Z"
+        assert np.allclose(product.to_matrix(), x.to_matrix() @ y.to_matrix())
+
+    @given(labels(3), labels(3))
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_homomorphism(self, a, b):
+        if len(a) != len(b):
+            b = (b + "I" * len(a))[: len(a)]
+        pa, pb = Pauli.from_label(a), Pauli.from_label(b)
+        assert np.allclose((pa * pb).to_matrix(), pa.to_matrix() @ pb.to_matrix())
+
+    @given(labels(4))
+    @settings(max_examples=40, deadline=None)
+    def test_self_product_phase(self, label):
+        p = Pauli.from_label(label)
+        square = p * p
+        # Hermitian Paulis square to +I.
+        assert square.is_identity(up_to_phase=False)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("X") * Pauli.from_label("XX")
+
+
+class TestCommutation:
+    def test_xz_anticommute(self):
+        assert not Pauli.from_label("X").commutes_with(Pauli.from_label("Z"))
+
+    def test_xx_commute(self):
+        assert Pauli.from_label("XX").commutes_with(Pauli.from_label("ZZ"))
+
+    @given(labels(4), labels(4))
+    @settings(max_examples=60, deadline=None)
+    def test_commutation_matches_matrices(self, a, b):
+        n = max(len(a), len(b))
+        a = (a + "I" * n)[:n]
+        b = (b + "I" * n)[:n]
+        pa, pb = Pauli.from_label(a), Pauli.from_label(b)
+        ma, mb = pa.to_matrix(), pb.to_matrix()
+        commutator = ma @ mb - mb @ ma
+        assert pa.commutes_with(pb) == bool(np.allclose(commutator, 0))
+
+    @given(labels(4))
+    @settings(max_examples=30, deadline=None)
+    def test_commutes_with_self(self, label):
+        p = Pauli.from_label(label)
+        assert p.commutes_with(p)
+
+
+class TestMisc:
+    def test_hash_and_eq(self):
+        a = Pauli.from_label("XZ")
+        b = Pauli.from_label("XZ")
+        assert a == b and hash(a) == hash(b)
+
+    def test_equal_up_to_phase(self):
+        a = Pauli.from_label("X")
+        b = Pauli.from_label("-X")
+        assert a != b and a.equal_up_to_phase(b)
+
+    def test_restricted(self):
+        p = Pauli.from_label("XIZY")
+        assert p.restricted([0, 2]).bare_label() == "XZ"
+        assert p.restricted([3]).bare_label() == "Y"
+
+    def test_matrix_of_y(self):
+        assert np.allclose(
+            Pauli.from_label("Y").to_matrix(), np.array([[0, -1j], [1j, 0]])
+        )
+
+    def test_matrix_hermitian(self):
+        p = Pauli.from_label("XYZI")
+        m = p.to_matrix()
+        assert np.allclose(m, m.conj().T)
+
+    def test_copy_independent(self):
+        p = Pauli.from_label("XX")
+        q = p.copy()
+        q.x[0] = False
+        assert p.bare_label() == "XX"

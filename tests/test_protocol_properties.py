@@ -1,0 +1,117 @@
+"""Property-based tests over protocol structure (no simulation — fast).
+
+These pin the structural invariants the paper's arguments rest on, for all
+small-to-moderate (k, n) rather than a few hand-picked cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_compas
+from repro.core.cyclic_shift import (
+    induced_state_cycle,
+    interleaved_arrangement,
+    round_position_pairs,
+)
+from repro.core.swap_test import build_monolithic_swap_test
+from repro.fanout import fanout_ancillas_required
+from repro.resources import naive_cost, teledata_cost, telegate_cost
+
+ks = st.integers(min_value=2, max_value=9)
+ns = st.integers(min_value=1, max_value=5)
+
+
+class TestStructuralInvariants:
+    @given(ks, ns)
+    @settings(max_examples=25, deadline=None)
+    def test_compas_bell_formula_all_sizes(self, k, n):
+        build = build_compas(k, n, design="teledata")
+        expect = 2 * n * (k - 1) + ((k + 1) // 2 - 1)
+        assert build.program.ledger.logical == expect
+
+    @given(ks, ns)
+    @settings(max_examples=20, deadline=None)
+    def test_compas_always_local(self, k, n):
+        build = build_compas(k, n, design="telegate")
+        assert build.locality().is_local
+
+    @given(ks, ns)
+    @settings(max_examples=20, deadline=None)
+    def test_ghz_width_is_half_k_rounded_up(self, k, n):
+        build = build_compas(k, n)
+        assert build.ghz_width == (k + 1) // 2
+
+    @given(ks, ns)
+    @settings(max_examples=20, deadline=None)
+    def test_user_assignment_is_permutation(self, k, n):
+        build = build_compas(k, n)
+        assert sorted(build.user_of_position) == list(range(k))
+
+    @given(ks)
+    @settings(max_examples=15, deadline=None)
+    def test_transposition_rounds_compose_to_cycle(self, k):
+        # The whole construction stands on this: two rounds of disjoint
+        # nearest-neighbour swaps in the interleaved order realise the
+        # k-cycle.
+        assert induced_state_cycle(k) == [(i + 1) % k for i in range(k)]
+
+    @given(ks)
+    @settings(max_examples=15, deadline=None)
+    def test_round_pairs_interleave_reflections(self, k):
+        # Under the arrangement, round-1 transpositions realise the
+        # reflection i -> (-1 - i) mod k on state labels and round 2 the
+        # reflection i -> (-2 - i) mod k: two dihedral reflections whose
+        # composition is the shift by one.
+        arrangement = interleaved_arrangement(k)
+        round1, round2 = round_position_pairs(k)
+        for a, b in round1:
+            i, j = arrangement[a], arrangement[b]
+            assert (i + j) % k == (k - 1) % k
+        occupant = list(arrangement)
+        for a, b in round1:
+            occupant[a], occupant[b] = occupant[b], occupant[a]
+        for a, b in round2:
+            i, j = occupant[a], occupant[b]
+            assert (i + j) % k == (k - 2) % k
+
+    @given(ks, ns)
+    @settings(max_examples=15, deadline=None)
+    def test_monolithic_d_depth_bounded(self, k, n):
+        # Constant-depth claim: the CSWAP stage never exceeds a fixed bound
+        # independent of both k and n.
+        build = build_monolithic_swap_test(k, n, variant="d")
+        assert build.stage_depths["cswap_rounds"] <= 80
+
+
+class TestCostModelProperties:
+    @given(ns)
+    @settings(max_examples=15, deadline=None)
+    def test_teledata_dominates_telegate(self, n):
+        assert teledata_cost(n).memory_estimate < telegate_cost(n).memory_estimate
+        assert teledata_cost(n).bell_pairs < telegate_cost(n).bell_pairs
+        assert teledata_cost(n).depth < telegate_cost(n).depth
+
+    @given(st.integers(min_value=4, max_value=60), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_naive_cost_nonnegative_and_growing(self, n, k):
+        cost = naive_cost(n, k)
+        assert cost.bell_pairs >= 0
+        assert naive_cost(n + 4, k).bell_pairs >= cost.bell_pairs
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_fanout_ancilla_bound(self, n):
+        required = fanout_ancillas_required(n)
+        assert required <= n + 1
+        assert required % 2 == 0
+
+
+class TestDepthIndependence:
+    def test_full_protocol_depth_flat_in_k_and_n(self):
+        totals = {}
+        for k in (4, 6, 8):
+            for n in (6, 8):
+                build = build_compas(k, n, basis="x")
+                totals[(k, n)] = sum(build.stage_depths.values())
+        values = set(totals.values())
+        assert max(values) - min(values) <= 1

@@ -1,0 +1,91 @@
+"""Tests for the reporting containers and the fitting helpers."""
+
+import json
+
+import pytest
+
+from repro.reporting import Figure, Series, Table
+from repro.utils.fitting import binomial_stderr, linear_fit, wilson_interval
+
+
+class TestTable:
+    def test_text_contains_rows(self):
+        t = Table("Demo", ["a", "b"])
+        t.add_row(a=1, b="x")
+        t.add_row(a=2, b="y")
+        text = t.to_text()
+        assert "Demo" in text and "x" in text and "2" in text
+
+    def test_missing_cell_rendered_empty(self):
+        t = Table("Demo", ["a", "b"])
+        t.add_row(a=1)
+        assert "1" in t.to_text()
+
+    def test_float_formatting(self):
+        t = Table("Demo", ["v"])
+        t.add_row(v=0.123456789)
+        assert "0.123457" in t.to_text()
+
+    def test_json_roundtrip(self):
+        t = Table("Demo", ["a"])
+        t.add_row(a=3)
+        data = json.loads(t.to_json())
+        assert data["rows"] == [{"a": 3}]
+
+
+class TestFigure:
+    def test_series_registration(self):
+        f = Figure("F", "x", "y")
+        s = f.new_series("line1")
+        s.add(1, 2)
+        assert f.series[0].xs == [1.0]
+
+    def test_text_output(self):
+        f = Figure("F", "x", "y")
+        s = f.new_series("line1")
+        s.add(1, 2)
+        text = f.to_text()
+        assert "line1" in text and "F" in text
+
+    def test_json_output(self):
+        f = Figure("F", "x", "y")
+        f.new_series("a").add(0, 1)
+        data = json.loads(f.to_json())
+        assert data["series"][0]["label"] == "a"
+
+    def test_series_standalone(self):
+        s = Series("solo")
+        s.add(1, 1)
+        s.add(2, 4)
+        assert s.ys == [1.0, 4.0]
+
+
+class TestFitting:
+    def test_linear_fit_exact_line(self):
+        fit = linear_fit([0, 1, 2], [1, 3, 5])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_linear_fit_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict(3) == pytest.approx(6.0)
+
+    def test_linear_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_binomial_stderr(self):
+        assert binomial_stderr(50, 100) == pytest.approx(0.05)
+
+    def test_binomial_stderr_validation(self):
+        with pytest.raises(ValueError):
+            binomial_stderr(1, 0)
+
+    def test_wilson_interval_contains_point(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_wilson_interval_bounds(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and high < 0.5

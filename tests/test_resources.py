@@ -1,0 +1,121 @@
+"""Tests that the cost model reproduces Tables 1-3 exactly."""
+
+import pytest
+
+from repro.resources import (
+    DISTILLATION_RATIO,
+    naive_cost,
+    scheme_comparison,
+    teledata_cost,
+    telegate_cost,
+)
+
+
+class TestTable1Telegate:
+    def test_total_depth_99(self):
+        assert telegate_cost(1).depth == 99
+        assert telegate_cost(10).depth == 99  # independent of n
+
+    def test_bell_pairs_formula(self):
+        for n in (1, 2, 5, 100):
+            assert telegate_cost(n).bell_pairs == 2 + 6 * n
+
+    def test_ancilla_n(self):
+        assert telegate_cost(7).ancilla == 7
+
+    def test_memory_estimate_19n_plus_6(self):
+        for n in (1, 3, 50):
+            assert telegate_cost(n).memory_estimate == 19 * n + 6
+
+    def test_step_structure(self):
+        steps = telegate_cost(2).steps
+        labels = [s.label for s in steps]
+        assert any("GHZ" in l for l in labels)
+        assert any("Toffoli teleportation" in l for l in labels)
+        ghz = next(s for s in steps if "GHZ" in s.label)
+        assert (ghz.ancilla, ghz.bell_pairs, ghz.depth) == (1, 2, 9)
+
+    def test_depth_is_sum_of_steps(self):
+        cost = telegate_cost(3)
+        assert cost.depth == sum(s.total_depth for s in cost.steps)
+
+    def test_bells_are_sum_of_steps(self):
+        cost = telegate_cost(3)
+        assert cost.bell_pairs == sum(s.total_bell_pairs for s in cost.steps)
+
+
+class TestTable2Teledata:
+    def test_total_depth_91(self):
+        assert teledata_cost(1).depth == 91
+        assert teledata_cost(8).depth == 91
+
+    def test_bell_pairs_formula(self):
+        for n in (1, 2, 5, 100):
+            assert teledata_cost(n).bell_pairs == 2 + 4 * n
+
+    def test_ancilla_2n(self):
+        assert teledata_cost(4).ancilla == 8
+
+    def test_memory_estimate_14n_plus_6(self):
+        for n in (1, 3, 50):
+            assert teledata_cost(n).memory_estimate == 14 * n + 6
+
+    def test_depth_is_sum_of_steps(self):
+        cost = teledata_cost(2)
+        assert cost.depth == sum(s.total_depth for s in cost.steps)
+
+
+class TestNaive:
+    def test_bell_pairs_quadratic(self):
+        small = naive_cost(10, 5).bell_pairs
+        large = naive_cost(100, 5).bell_pairs
+        # O(n^2): a 10x larger n costs ~100x more.
+        assert large > 50 * small
+
+    def test_sec25_formula(self):
+        n, k = 12, 4
+        per = n / k
+        expect = int(2 * ((per + n - 1) * (n - per) / 2))
+        assert naive_cost(n, k).bell_pairs == expect
+
+    def test_depth_76(self):
+        assert naive_cost(10, 5).depth == 76
+
+    def test_memory_roughly_3n_squared(self):
+        n = 100
+        memory = naive_cost(n, 10).memory_estimate
+        assert 2 * n * n < memory < 4 * n * n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            naive_cost(0, 2)
+        with pytest.raises(ValueError):
+            naive_cost(5, 1)
+
+
+class TestTable3Comparison:
+    def test_teledata_recommended_on_memory(self):
+        rows = {r["scheme"]: r for r in scheme_comparison(10, 5)}
+        assert rows["teledata"]["memory_estimate"] < rows["telegate"]["memory_estimate"]
+
+    def test_teledata_wins_depth(self):
+        rows = {r["scheme"]: r for r in scheme_comparison(10, 5)}
+        assert rows["teledata"]["depth"] < rows["telegate"]["depth"]
+
+    def test_naive_loses_bells_at_scale(self):
+        rows = {r["scheme"]: r for r in scheme_comparison(100, 5)}
+        assert rows["naive"]["bell_pairs"] > rows["telegate"]["bell_pairs"]
+        assert rows["naive"]["bell_pairs"] > rows["teledata"]["bell_pairs"]
+
+    def test_distillation_ratio_is_three(self):
+        assert DISTILLATION_RATIO == 3
+
+    def test_comparison_has_three_rows(self):
+        rows = scheme_comparison(4, 4)
+        assert [r["scheme"] for r in rows] == ["telegate", "teledata", "naive"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            telegate_cost(0)
+        with pytest.raises(ValueError):
+            teledata_cost(-1)

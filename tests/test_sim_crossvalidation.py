@@ -1,0 +1,185 @@
+"""Cross-validation between the simulators, plus failure injection.
+
+The four simulators implement the same semantics through different
+algorithms; random-circuit agreement between them is the strongest
+correctness evidence the repository has.  The failure-injection tests
+deliberately corrupt protocol circuits and check the validators notice —
+a silent-pass here would mean the test oracles are vacuous.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, Condition
+from repro.sim import (
+    DensitySimulator,
+    NoiseModel,
+    PauliFrameSimulator,
+    StatevectorSimulator,
+    TableauSimulator,
+)
+from repro.utils import partial_trace, random_pure_state, state_fidelity
+
+RNG = np.random.default_rng(2025)
+
+CLIFFORD_GATES = ["h", "s", "sdg", "x", "y", "z", "cx", "cz", "swap"]
+ALL_GATES = CLIFFORD_GATES + ["t", "tdg", "ccx", "cswap"]
+
+
+def random_circuit(num_qubits, depth, rng, gate_pool):
+    c = Circuit(num_qubits)
+    from repro.circuits.gates import GATES
+
+    for _ in range(depth):
+        name = str(rng.choice(gate_pool))
+        arity = GATES[name].num_qubits
+        if arity > num_qubits:
+            continue
+        qubits = rng.choice(num_qubits, size=arity, replace=False)
+        c.append(name, [int(q) for q in qubits])
+    return c
+
+
+class TestStatevectorVsDensity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_unitary_circuits_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 4))
+        circuit = random_circuit(n, 12, rng, ALL_GATES)
+        psi = random_pure_state(n, rng)
+        sv = StatevectorSimulator().run(circuit, initial_state=psi).statevector
+        rho = DensitySimulator().run(circuit, initial_state=psi).final_density()
+        assert np.allclose(rho, np.outer(sv, sv.conj()), atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_measurement_statistics_agree(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 2
+        circuit = Circuit(n, 1)
+        circuit.compose(random_circuit(n, 8, rng, ALL_GATES))
+        circuit.measure(0, 0)
+        # Density branches give the exact outcome distribution.
+        result = DensitySimulator().run(circuit.copy())
+        probs = result.branch_probabilities()
+        p1_exact = sum(p for bits, p in probs.items() if bits[0] == 1)
+        # Statevector sampling approximates it.
+        shots = 800
+        sim = StatevectorSimulator(seed=seed)
+        p1_sampled = (
+            sum(sim.run(circuit).clbits[0] for _ in range(shots)) / shots
+        )
+        assert abs(p1_exact - p1_sampled) < 0.08
+
+
+class TestTableauVsStatevector:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_clifford_measurement_distributions(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = 3
+        circuit = random_circuit(n, 14, rng, CLIFFORD_GATES)
+        # Deterministic measurements must agree exactly.
+        for qubit in range(n):
+            probe = circuit.copy()
+            tableau = TableauSimulator(n, seed=seed)
+            tableau.run(probe)
+            outcome, deterministic = tableau.measure(qubit)
+            if deterministic:
+                sv = StatevectorSimulator(seed=seed).run(circuit).statevector
+                rho = partial_trace(sv, [qubit], n)
+                assert abs(np.real(rho[outcome, outcome]) - 1.0) < 1e-8
+
+
+class TestFrameVsDensityNoisy:
+    def test_bell_pair_fidelity_agrees(self):
+        # Noisy Bell preparation: frame sampling vs exact density channel.
+        circuit = Circuit(2).h(0).cx(0, 1)
+        noise = NoiseModel.from_base(0.02)
+        rho = DensitySimulator(noise=noise).run(circuit).final_density()
+        bell = np.zeros(4, dtype=complex)
+        bell[0] = bell[3] = 1 / np.sqrt(2)
+        exact = float(np.real(np.vdot(bell, rho @ bell)))
+
+        frame_sim = PauliFrameSimulator(circuit, noise, seed=9)
+        # Stabilizers of |Phi+>: XX and ZZ.
+        from repro.sim import Pauli
+
+        xx = Pauli.from_label("XX")
+        zz = Pauli.from_label("ZZ")
+        shots = 40000
+        good = 0
+        for _ in range(shots):
+            error = frame_sim.sample().frame
+            if error.commutes_with(xx) and error.commutes_with(zz):
+                good += 1
+        assert abs(good / shots - exact) < 0.015
+
+
+class TestFailureInjection:
+    def test_missing_teleport_correction_is_detected(self):
+        # Teleportation without the X correction must not be a teleport.
+        c = Circuit(3, 2)
+        c.h(1).cx(1, 2)
+        c.cx(0, 1).h(0)
+        c.measure(0, 0).measure(1, 1)
+        # omit: c.x(2, Condition((1,), 1))
+        c.z(2, condition=Condition((0,), 1))
+        psi = random_pure_state(1, RNG)
+        init = np.kron(psi, [1, 0, 0, 0]).astype(complex)
+        failures = 0
+        for seed in range(12):
+            out = StatevectorSimulator(seed=seed).run(c, initial_state=init)
+            rho = partial_trace(out.statevector, [2], 3)
+            if state_fidelity(psi, rho) < 1 - 1e-6:
+                failures += 1
+        assert failures > 0
+
+    def test_wrong_parity_correction_breaks_fanout(self):
+        # A fanout whose final Z-correction is inverted must corrupt the
+        # control for some measurement outcomes.
+        from repro.fanout import append_fanout, fanout_ancillas_required
+        from repro.network import DistributedProgram
+
+        p = DistributedProgram()
+        p.add_qpu("m")
+        (c,) = p.alloc("m", "c", 1)
+        ts = p.alloc("m", "t", 2)
+        anc = p.alloc("m", "anc", fanout_ancillas_required(2))
+        append_fanout(p, c, ts, anc, reset_ancillas=False)
+        circuit = p.build()
+        # Flip the parity value of the final conditioned Z.
+        broken = Circuit(circuit.num_qubits, circuit.num_clbits)
+        for inst in circuit.instructions:
+            condition = inst.condition
+            if inst.name == "z" and condition is not None:
+                condition = Condition(condition.clbits, 1 - condition.value)
+            broken.append(inst.name, inst.qubits, inst.clbits, inst.params, condition)
+
+        ideal = Circuit(3)
+        ideal.cx(0, 1)
+        ideal.cx(0, 2)
+        u = ideal.to_unitary()
+        plus = np.array([1, 1], dtype=complex) / np.sqrt(2)
+        data = np.kron(np.kron(plus, [1, 0]), [1, 0]).astype(complex)
+        init = np.zeros(2**broken.num_qubits, dtype=complex)
+        pad = np.zeros(2 ** (broken.num_qubits - 3), dtype=complex)
+        pad[0] = 1.0
+        init = np.kron(data, pad)
+        want = u @ data
+        mismatches = 0
+        for seed in range(12):
+            out = StatevectorSimulator(seed=seed).run(broken, initial_state=init)
+            rho = partial_trace(out.statevector, [0, 1, 2], broken.num_qubits)
+            if not np.allclose(rho, np.outer(want, want.conj()), atol=1e-6):
+                mismatches += 1
+        assert mismatches > 0
+
+    def test_locality_auditor_catches_cheating(self):
+        # A protocol that "fixes" remoteness with a direct CX must be flagged.
+        from repro.network import DistributedProgram, line_topology
+
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (a,) = prog.alloc("A", "a", 1)
+        (b,) = prog.alloc("B", "b", 1)
+        prog.cx(a, b)  # illegal: spans QPUs without a Bell pair
+        assert not prog.audit_locality().is_local

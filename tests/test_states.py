@@ -1,0 +1,125 @@
+"""Unit tests for repro.utils.states."""
+
+import numpy as np
+import pytest
+
+from repro.utils.linalg import is_density_matrix
+from repro.utils.states import (
+    computational_basis_state,
+    depolarize_state,
+    ghz_state,
+    noisy_pure_state,
+    plus_state,
+    product_state,
+    random_density_matrix,
+    random_hermitian,
+    random_product_density,
+    random_pure_state,
+    thermal_state,
+    w_state,
+)
+
+RNG = np.random.default_rng(99)
+
+
+class TestBasisStates:
+    def test_basis_state_one_hot(self):
+        v = computational_basis_state(3, 2)
+        assert v[3] == 1.0 and np.count_nonzero(v) == 1
+
+    def test_basis_state_range(self):
+        with pytest.raises(ValueError):
+            computational_basis_state(4, 2)
+
+    def test_plus_state_uniform(self):
+        v = plus_state(3)
+        assert np.allclose(np.abs(v) ** 2, 1 / 8)
+
+    def test_ghz_components(self):
+        v = ghz_state(3)
+        assert abs(v[0] - 1 / np.sqrt(2)) < 1e-12
+        assert abs(v[-1] - 1 / np.sqrt(2)) < 1e-12
+        assert np.count_nonzero(v) == 2
+
+    def test_w_state_single_excitations(self):
+        v = w_state(3)
+        nonzero = np.nonzero(v)[0]
+        assert sorted(nonzero) == [1, 2, 4]
+        assert abs(np.linalg.norm(v) - 1.0) < 1e-12
+
+
+class TestRandomStates:
+    def test_pure_state_normalised(self):
+        v = random_pure_state(3, RNG)
+        assert abs(np.linalg.norm(v) - 1.0) < 1e-12
+
+    def test_density_matrix_valid(self):
+        assert is_density_matrix(random_density_matrix(2, rng=RNG))
+
+    def test_density_rank_control(self):
+        rho = random_density_matrix(2, rank=1, rng=RNG)
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert np.sum(eigenvalues > 1e-9) == 1
+
+    def test_density_rank_bounds(self):
+        with pytest.raises(ValueError):
+            random_density_matrix(1, rank=3, rng=RNG)
+
+    def test_product_density_count(self):
+        states = random_product_density(4, 1, rng=RNG)
+        assert len(states) == 4
+        assert all(is_density_matrix(s) for s in states)
+
+    def test_reproducible_with_seed(self):
+        a = random_pure_state(2, np.random.default_rng(5))
+        b = random_pure_state(2, np.random.default_rng(5))
+        assert np.allclose(a, b)
+
+
+class TestThermal:
+    def test_thermal_is_density(self):
+        h = random_hermitian(2, RNG)
+        assert is_density_matrix(thermal_state(h, 1.0))
+
+    def test_infinite_temperature_is_mixed(self):
+        h = random_hermitian(1, RNG)
+        rho = thermal_state(h, 0.0)
+        assert np.allclose(rho, np.eye(2) / 2)
+
+    def test_low_temperature_approaches_ground(self):
+        h = np.diag([0.0, 1.0]).astype(complex)
+        rho = thermal_state(h, 50.0)
+        assert rho[0, 0] > 0.999
+
+    def test_energy_decreases_with_beta(self):
+        h = random_hermitian(2, RNG)
+        energies = [
+            float(np.real(np.trace(h @ thermal_state(h, beta))))
+            for beta in (0.1, 1.0, 5.0)
+        ]
+        assert energies[0] >= energies[1] >= energies[2]
+
+
+class TestNoiseHelpers:
+    def test_depolarize_full(self):
+        rho = random_density_matrix(1, rng=RNG)
+        assert np.allclose(depolarize_state(rho, 1.0), np.eye(2) / 2)
+
+    def test_depolarize_none(self):
+        rho = random_density_matrix(1, rng=RNG)
+        assert np.allclose(depolarize_state(rho, 0.0), rho)
+
+    def test_depolarize_bounds(self):
+        with pytest.raises(ValueError):
+            depolarize_state(np.eye(2) / 2, 1.5)
+
+    def test_noisy_pure_state_dominant_eigenvector(self):
+        psi, rho = noisy_pure_state(2, 0.4, RNG)
+        eigenvalues, vectors = np.linalg.eigh(rho)
+        top = vectors[:, -1]
+        assert abs(np.vdot(top, psi)) ** 2 > 0.999
+
+    def test_product_state(self):
+        a = random_pure_state(1, RNG)
+        b = random_pure_state(1, RNG)
+        assert np.allclose(product_state([a, b]), np.kron(a, b))

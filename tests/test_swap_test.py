@@ -1,0 +1,169 @@
+"""Tests for the monolithic multi-party SWAP test (Fig 2 variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cyclic_shift import multivariate_trace
+from repro.core.estimator import exact_swap_test_expectation
+from repro.core.swap_test import VARIANTS, build_monolithic_swap_test
+from repro.utils import random_density_matrix
+
+RNG = np.random.default_rng(17)
+
+
+class TestBuildStructure:
+    def test_ghz_width_variant_b(self):
+        build = build_monolithic_swap_test(6, 2, variant="b")
+        assert build.ghz_width == 3  # ceil(6/2)
+
+    def test_ghz_width_variant_c(self):
+        build = build_monolithic_swap_test(6, 2, variant="c")
+        assert build.ghz_width == 6  # ceil(6/2) * n
+
+    def test_ghz_width_variant_d(self):
+        build = build_monolithic_swap_test(5, 3, variant="d")
+        assert build.ghz_width == 3  # ceil(5/2)
+
+    def test_hadamard_single_ancilla(self):
+        build = build_monolithic_swap_test(4, 1, variant="hadamard")
+        assert build.ghz_width == 1
+
+    def test_position_registers_width(self):
+        build = build_monolithic_swap_test(3, 2, variant="b")
+        assert len(build.position_registers) == 3
+        assert all(len(r) == 2 for r in build.position_registers)
+
+    def test_user_of_position_is_permutation(self):
+        build = build_monolithic_swap_test(5, 1, variant="b")
+        assert sorted(build.user_of_position) == list(range(5))
+
+    def test_readout_clbits_match_ghz(self):
+        build = build_monolithic_swap_test(4, 1, variant="b", basis="x")
+        assert len(build.readout_clbits) == build.ghz_width
+
+    def test_no_readout_without_basis(self):
+        build = build_monolithic_swap_test(4, 1, variant="b")
+        assert build.readout_clbits == ()
+        assert build.circuit().num_measurements() == 0
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            build_monolithic_swap_test(3, 1, variant="zzz")
+
+    def test_invalid_basis(self):
+        with pytest.raises(ValueError):
+            build_monolithic_swap_test(3, 1, basis="w")
+
+    def test_needs_two_parties(self):
+        with pytest.raises(ValueError):
+            build_monolithic_swap_test(1, 1)
+
+
+class TestDepthScaling:
+    def test_variant_b_cswap_depth_grows_with_n(self):
+        d2 = build_monolithic_swap_test(4, 2, variant="b").stage_depths["cswap_rounds"]
+        d4 = build_monolithic_swap_test(4, 4, variant="b").stage_depths["cswap_rounds"]
+        assert d4 == 2 * d2
+
+    def test_variant_c_cswap_depth_constant(self):
+        d1 = build_monolithic_swap_test(4, 1, variant="c").stage_depths["cswap_rounds"]
+        d4 = build_monolithic_swap_test(4, 4, variant="c").stage_depths["cswap_rounds"]
+        assert d1 == d4 == 2
+
+    def test_variant_d_cswap_depth_constant_in_n(self):
+        # Saturates at a constant (boundary effects below n=6).
+        depths = [
+            build_monolithic_swap_test(4, n, variant="d").stage_depths["cswap_rounds"]
+            for n in (6, 10, 14)
+        ]
+        assert max(depths) == min(depths)
+
+    def test_variant_b_depth_linear_while_d_flat(self):
+        # Variant b counts whole CSWAP gates, so its stage depth is exactly
+        # 2n; variant d is constant in basic-gate units.
+        b_depths = [
+            build_monolithic_swap_test(4, n, variant="b").stage_depths["cswap_rounds"]
+            for n in (6, 10, 14)
+        ]
+        assert b_depths == [12, 20, 28]
+
+    def test_variant_d_depth_constant_in_k(self):
+        depths = [
+            build_monolithic_swap_test(k, 2, variant="d").stage_depths["cswap_rounds"]
+            for k in (4, 8, 12)
+        ]
+        assert max(depths) - min(depths) <= 2
+
+    def test_hadamard_depth_grows_with_k(self):
+        d4 = build_monolithic_swap_test(4, 1, variant="hadamard").stage_depths[
+            "cswap_rounds"
+        ]
+        d8 = build_monolithic_swap_test(8, 1, variant="hadamard").stage_depths[
+            "cswap_rounds"
+        ]
+        assert d8 > d4
+
+    def test_fused_ghz_constant_depth(self):
+        d_small = build_monolithic_swap_test(4, 1, variant="b", ghz_mode="fused")
+        d_large = build_monolithic_swap_test(12, 1, variant="b", ghz_mode="fused")
+        assert (
+            abs(d_small.stage_depths["ghz_prep"] - d_large.stage_depths["ghz_prep"])
+            <= 1
+        )
+
+    def test_linear_ghz_depth_grows(self):
+        d_small = build_monolithic_swap_test(4, 1, variant="b", ghz_mode="linear")
+        d_large = build_monolithic_swap_test(12, 1, variant="b", ghz_mode="linear")
+        assert d_large.stage_depths["ghz_prep"] > d_small.stage_depths["ghz_prep"]
+
+
+class TestExactCorrectness:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_variant_b_matches_trace(self, k):
+        states = [random_density_matrix(1, rng=RNG) for _ in range(k)]
+        got = exact_swap_test_expectation(states, variant="b")
+        want = multivariate_trace(states)
+        assert np.allclose(got, want, atol=1e-8)
+
+    def test_variant_c_matches_trace(self):
+        states = [random_density_matrix(1, rng=RNG) for _ in range(3)]
+        got = exact_swap_test_expectation(states, variant="c")
+        assert np.allclose(got, multivariate_trace(states), atol=1e-8)
+
+    def test_hadamard_matches_trace(self):
+        states = [random_density_matrix(1, rng=RNG) for _ in range(3)]
+        got = exact_swap_test_expectation(states, variant="hadamard")
+        assert np.allclose(got, multivariate_trace(states), atol=1e-8)
+
+    def test_two_qubit_states(self):
+        states = [random_density_matrix(2, rank=2, rng=RNG) for _ in range(3)]
+        got = exact_swap_test_expectation(states, variant="b")
+        assert np.allclose(got, multivariate_trace(states), atol=1e-8)
+
+    def test_fused_ghz_mode_matches(self):
+        # Fused GHZ has measurements, so use the c-variant data path
+        # indirectly: exact path requires measurement-free, expect rejection.
+        states = [random_density_matrix(1, rng=RNG) for _ in range(3)]
+        with pytest.raises(ValueError):
+            exact_swap_test_expectation(states, variant="b", ghz_mode="fused")
+
+    def test_pure_statevector_inputs(self):
+        from repro.utils import random_pure_state
+
+        vs = [random_pure_state(1, RNG) for _ in range(3)]
+        rhos = [np.outer(v, v.conj()) for v in vs]
+        got = exact_swap_test_expectation(vs, variant="b")
+        assert np.allclose(got, multivariate_trace(rhos), atol=1e-8)
+
+    def test_observable_insertion(self):
+        rho = random_density_matrix(1, rng=RNG)
+        got = exact_swap_test_expectation([rho, rho], observable="Z")
+        z = np.diag([1.0, -1.0]).astype(complex)
+        want = np.trace(z @ rho @ rho)
+        assert np.allclose(got, want, atol=1e-8)
+
+    def test_observable_validation(self):
+        with pytest.raises(ValueError):
+            build_monolithic_swap_test(2, 1, observable="ZZ")
+        with pytest.raises(ValueError):
+            build_monolithic_swap_test(2, 1, observable="Q")

@@ -1,0 +1,147 @@
+"""Tests for the stabilizer tableau simulator, cross-checked vs statevector."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.sim import Pauli, StatevectorSimulator, TableauSimulator
+from repro.sim.statevector import apply_gate
+
+RNG = np.random.default_rng(2024)
+
+CLIFFORD_1Q = ["h", "s", "sdg", "x", "y", "z"]
+CLIFFORD_2Q = ["cx", "cz", "swap"]
+
+
+def random_clifford_circuit(num_qubits, depth, rng):
+    circuit = Circuit(num_qubits)
+    for _ in range(depth):
+        if num_qubits > 1 and rng.random() < 0.5:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.append(str(rng.choice(CLIFFORD_2Q)), [int(a), int(b)])
+        else:
+            q = int(rng.integers(num_qubits))
+            circuit.append(str(rng.choice(CLIFFORD_1Q)), [q])
+    return circuit
+
+
+def stabilizers_fix_state(tableau, statevector, num_qubits):
+    """Every tableau stabilizer must fix the statevector with its sign."""
+    for stab in tableau.stabilizers():
+        matrix = stab.to_matrix()
+        out = matrix @ statevector
+        if not np.allclose(out, statevector, atol=1e-8):
+            return False
+    return True
+
+
+class TestAgainstStatevector:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_clifford_stabilizers_fix_state(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        circuit = random_clifford_circuit(n, 18, rng)
+        tableau = TableauSimulator(n, seed=seed)
+        tableau.run(circuit)
+        sv = StatevectorSimulator(seed=seed).run(circuit).statevector
+        assert stabilizers_fix_state(tableau, sv, n)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pauli_expectations_match(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 3
+        circuit = random_clifford_circuit(n, 15, rng)
+        tableau = TableauSimulator(n, seed=seed)
+        tableau.run(circuit)
+        sv = StatevectorSimulator(seed=seed).run(circuit).statevector
+        for label in ("ZII", "IXI", "XYZ", "ZZI", "XXX"):
+            pauli = Pauli.from_label(label)
+            expect_sv = np.real(np.vdot(sv, pauli.to_matrix() @ sv))
+            expect_tab = tableau.expectation_of_pauli(pauli)
+            assert abs(expect_sv - expect_tab) < 1e-8
+
+
+class TestMeasurement:
+    def test_deterministic_zero(self):
+        t = TableauSimulator(1, seed=0)
+        outcome, deterministic = t.measure(0)
+        assert outcome == 0 and deterministic
+
+    def test_deterministic_one_after_x(self):
+        t = TableauSimulator(1, seed=0)
+        t.x_gate(0)
+        outcome, deterministic = t.measure(0)
+        assert outcome == 1 and deterministic
+
+    def test_random_after_h(self):
+        outcomes = set()
+        for seed in range(10):
+            t = TableauSimulator(1, seed=seed)
+            t.h(0)
+            outcome, deterministic = t.measure(0)
+            assert not deterministic
+            outcomes.add(outcome)
+        assert outcomes == {0, 1}
+
+    def test_repeat_measurement_is_stable(self):
+        t = TableauSimulator(1, seed=3)
+        t.h(0)
+        first, _ = t.measure(0)
+        second, deterministic = t.measure(0)
+        assert deterministic and second == first
+
+    def test_ghz_correlations(self):
+        for seed in range(6):
+            t = TableauSimulator(3, seed=seed)
+            t.h(0)
+            t.cx(0, 1)
+            t.cx(1, 2)
+            bits = [t.measure(q)[0] for q in range(3)]
+            assert len(set(bits)) == 1
+
+    def test_forced_outcome(self):
+        t = TableauSimulator(1, seed=0)
+        t.h(0)
+        outcome, _ = t.measure(0, forced=1)
+        assert outcome == 1
+
+    def test_reset(self):
+        t = TableauSimulator(1, seed=0)
+        t.x_gate(0)
+        t.reset(0)
+        assert t.measure(0)[0] == 0
+
+
+class TestGhzStabilizers:
+    def test_ghz_expectations(self):
+        t = TableauSimulator(3, seed=0)
+        t.h(0)
+        t.cx(0, 1)
+        t.cx(1, 2)
+        assert t.expectation_of_pauli(Pauli.from_label("XXX")) == 1
+        assert t.expectation_of_pauli(Pauli.from_label("ZZI")) == 1
+        assert t.expectation_of_pauli(Pauli.from_label("IZZ")) == 1
+        assert t.expectation_of_pauli(Pauli.from_label("ZII")) == 0
+        assert t.expectation_of_pauli(Pauli.from_label("YYX")) == -1
+
+
+class TestCircuitExecution:
+    def test_run_with_feedback(self):
+        from repro.circuits import Condition
+
+        c = Circuit(2, 2)
+        c.x(0)
+        c.measure(0, 0)
+        c.x(1, condition=Condition((0,), 1))
+        c.measure(1, 1)
+        t = TableauSimulator(2, seed=0)
+        assert t.run(c) == [1, 1]
+
+    def test_rejects_non_clifford(self):
+        c = Circuit(1).t(0)
+        with pytest.raises(ValueError):
+            TableauSimulator(1).run(c)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            TableauSimulator(2).run(Circuit(3))

@@ -1,0 +1,172 @@
+"""Correctness tests for teledata and telegate primitives."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.network import DistributedProgram, line_topology
+from repro.sim import StatevectorSimulator
+from repro.teleport import (
+    cat_disentangle,
+    cat_entangle,
+    remote_cnot,
+    remote_cz,
+    remote_toffoli_via_and,
+    teleport_qubit,
+    teleport_register,
+)
+from repro.utils import kron_all, partial_trace, random_pure_state, state_fidelity
+
+RNG = np.random.default_rng(77)
+ZERO = np.array([1, 0], dtype=complex)
+
+
+def run_reduced(circuit, init, keep):
+    result = StatevectorSimulator(seed=int(RNG.integers(1e9))).run(
+        circuit, initial_state=init
+    )
+    return partial_trace(result.statevector, keep, circuit.num_qubits)
+
+
+class TestTeledata:
+    def _program(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (src,) = prog.alloc("A", "data", 1)
+        (bl,) = prog.alloc("A", "bell", 1)
+        (br,) = prog.alloc("B", "bell", 1)
+        prog.create_bell_pair(bl, br)
+        return prog, src, bl, br
+
+    def test_state_arrives(self):
+        prog, src, bl, br = self._program()
+        record = teleport_qubit(prog, src, bl, br)
+        circuit = prog.build()
+        psi = random_pure_state(1, RNG)
+        rho = run_reduced(circuit, kron_all([psi, ZERO, ZERO]), [record.destination])
+        assert state_fidelity(psi, rho) > 1 - 1e-9
+
+    def test_consumed_qubits_reset(self):
+        prog, src, bl, br = self._program()
+        teleport_qubit(prog, src, bl, br)
+        circuit = prog.build()
+        psi = random_pure_state(1, RNG)
+        rho = run_reduced(circuit, kron_all([psi, ZERO, ZERO]), [src, bl])
+        expect = np.zeros((4, 4), dtype=complex)
+        expect[0, 0] = 1.0
+        assert np.allclose(rho, expect, atol=1e-9)
+
+    def test_requires_colocated_bell_local(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (src,) = prog.alloc("A", "data", 1)
+        (bl,) = prog.alloc("B", "bell_wrong", 1)
+        (br,) = prog.alloc("B", "bell", 1)
+        with pytest.raises(ValueError):
+            teleport_qubit(prog, src, bl, br)
+
+    def test_requires_remote_destination(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (src,) = prog.alloc("A", "data", 1)
+        (bl,) = prog.alloc("A", "bell", 1)
+        (br,) = prog.alloc("A", "bell2", 1)
+        with pytest.raises(ValueError):
+            teleport_qubit(prog, src, bl, br)
+
+    def test_register_teleport(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        srcs = prog.alloc("A", "data", 2)
+        bls = prog.alloc("A", "bl", 2)
+        brs = prog.alloc("B", "br", 2)
+        for bl, br in zip(bls, brs):
+            prog.create_bell_pair(bl, br)
+        records = teleport_register(prog, srcs, bls, brs)
+        circuit = prog.build()
+        psi = random_pure_state(2, RNG)  # entangled two-qubit state
+        init = kron_all([psi] + [ZERO] * 4)
+        rho = run_reduced(circuit, init, [r.destination for r in records])
+        assert state_fidelity(psi, rho) > 1 - 1e-9
+
+    def test_register_length_mismatch(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        srcs = prog.alloc("A", "data", 2)
+        with pytest.raises(ValueError):
+            teleport_register(prog, srcs, [0], [1])
+
+
+class TestTelegate:
+    def _two_qpu(self, alice_qubits, bob_qubits):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        a = prog.alloc("A", "a", alice_qubits)
+        b = prog.alloc("B", "b", bob_qubits)
+        (bl,) = prog.alloc("A", "bell_l", 1)
+        (br,) = prog.alloc("B", "bell_r", 1)
+        prog.create_bell_pair(bl, br)
+        return prog, a, b, bl, br
+
+    def _check_against(self, prog, data_qubits, ideal_circuit, data_width):
+        circuit = prog.build()
+        ideal = ideal_circuit.to_unitary()
+        for _ in range(5):
+            psi = random_pure_state(data_width, RNG)
+            init = kron_all([psi] + [ZERO] * (circuit.num_qubits - data_width))
+            rho = run_reduced(circuit, init, data_qubits)
+            want = ideal @ psi
+            if not np.allclose(rho, np.outer(want, want.conj()), atol=1e-8):
+                return False
+        return True
+
+    def test_remote_cnot(self):
+        prog, a, b, bl, br = self._two_qpu(1, 1)
+        remote_cnot(prog, a[0], b[0], bl, br)
+        assert self._check_against(prog, [0, 1], Circuit(2).cx(0, 1), 2)
+
+    def test_remote_cz(self):
+        prog, a, b, bl, br = self._two_qpu(1, 1)
+        remote_cz(prog, a[0], b[0], bl, br)
+        assert self._check_against(prog, [0, 1], Circuit(2).cz(0, 1), 2)
+
+    def test_remote_toffoli(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        ctrl = prog.alloc("A", "c", 2)
+        (tgt,) = prog.alloc("B", "t", 1)
+        (anc,) = prog.alloc("A", "and", 1)
+        (bl,) = prog.alloc("A", "bl", 1)
+        (br,) = prog.alloc("B", "br", 1)
+        prog.create_bell_pair(bl, br)
+        remote_toffoli_via_and(prog, ctrl[0], ctrl[1], tgt, anc, bl, br)
+        assert self._check_against(prog, [0, 1, 2], Circuit(3).ccx(0, 1, 2), 3)
+
+    def test_remote_toffoli_validates_placement(self):
+        prog = DistributedProgram(line_topology(["A", "B"]))
+        (ca,) = prog.alloc("A", "ca", 1)
+        (cb,) = prog.alloc("B", "cb", 1)  # wrong QPU
+        (tgt,) = prog.alloc("B", "t", 1)
+        (anc,) = prog.alloc("A", "and", 1)
+        (bl,) = prog.alloc("A", "bl", 1)
+        (br,) = prog.alloc("B", "br", 1)
+        with pytest.raises(ValueError):
+            remote_toffoli_via_and(prog, ca, cb, tgt, anc, bl, br)
+
+    def test_cat_entangle_copies_value(self):
+        prog, a, b, bl, br = self._two_qpu(1, 1)
+        link = cat_entangle(prog, a[0], bl, br)
+        circuit = prog.build()
+        # control |1> -> mirror must read 1.
+        init = kron_all([np.array([0, 1], dtype=complex), ZERO, ZERO, ZERO])
+        result = StatevectorSimulator(seed=1).run(circuit, initial_state=init)
+        rho = partial_trace(result.statevector, [link.mirror], 4)
+        assert abs(rho[1, 1] - 1.0) < 1e-9
+
+    def test_cat_roundtrip_preserves_control(self):
+        prog, a, b, bl, br = self._two_qpu(1, 1)
+        link = cat_entangle(prog, a[0], bl, br)
+        cat_disentangle(prog, link)
+        circuit = prog.build()
+        psi = random_pure_state(1, RNG)
+        init = kron_all([psi, ZERO, ZERO, ZERO])
+        rho = run_reduced(circuit, init, [0])
+        assert state_fidelity(psi, rho) > 1 - 1e-9
+
+    def test_all_teleops_local(self):
+        prog, a, b, bl, br = self._two_qpu(1, 1)
+        remote_cnot(prog, a[0], b[0], bl, br)
+        assert prog.audit_locality().is_local
