@@ -1,12 +1,12 @@
 """Section 6 applications: one end-to-end row per application.
 
 Rényi entropy, entanglement spectroscopy, virtual distillation, and parallel
-QSP, each run through the actual SWAP-test pipeline and compared against its
-exact value.
+QSP, each run through the actual SWAP-test pipeline (via a shared execution
+engine) and compared against its exact value.
 """
 
 import numpy as np
-from conftest import FULL_SCALE, emit
+from conftest import FULL_SCALE, emit, make_engine, stopwatch
 
 from repro.apps import (
     entanglement_spectroscopy,
@@ -29,17 +29,20 @@ def test_applications(once):
         ["application", "setting", "exact", "estimated", "abs_error"],
     )
     rng = np.random.default_rng(606)
+    engine = make_engine()
 
     def run():
         rows = []
         rho = random_density_matrix(1, rng=rng)
 
         exact_s2 = renyi_entropy_exact(rho, 2)
-        est = estimate_renyi_entropy(rho, 2, shots=SHOTS, seed=1, variant="b")
+        est = estimate_renyi_entropy(
+            rho, 2, shots=SHOTS, seed=1, variant="b", engine=engine
+        )
         rows.append(("Renyi entropy S2", "1-qubit mixed state", exact_s2, est.entropy))
 
         spec = entanglement_spectroscopy(
-            ghz_state(2), [0], 2, shots=2 * SHOTS, seed=2, variant="b"
+            ghz_state(2), [0], 2, shots=2 * SHOTS, seed=2, variant="b", engine=engine
         )
         rows.append(
             ("Entanglement spectroscopy", "GHZ_2 half", 0.5, float(spec.eigenvalues[0]))
@@ -47,13 +50,15 @@ def test_applications(once):
 
         _psi, noisy = noisy_pure_state(1, 0.3, rng)
         exact_v = virtual_expectation_exact(noisy, "Z", 3)
-        est_v = virtual_expectation(noisy, "Z", 3, shots=SHOTS, seed=3, variant="b")
+        est_v = virtual_expectation(
+            noisy, "Z", 3, shots=SHOTS, seed=3, variant="b", engine=engine
+        )
         rows.append(("Virtual distillation <Z>", "3 copies, 30% depol", exact_v, est_v.value))
 
         coeffs = np.array([1.0, 0.0, 0.5, 0.0, 0.2])
         factored = factor_polynomial(coeffs, 2)
         est_q, exact_q = parallel_qsp_trace_sampled(
-            rho, factored, shots=SHOTS, seed=4, variant="b"
+            rho, factored, shots=SHOTS, seed=4, variant="b", engine=engine
         )
         rows.append(
             (
@@ -65,7 +70,9 @@ def test_applications(once):
         )
         return rows
 
-    for name, setting, exact, estimated in once(run):
+    with stopwatch() as elapsed:
+        rows = once(run)
+    for name, setting, exact, estimated in rows:
         table.add_row(
             application=name,
             setting=setting,
@@ -74,4 +81,5 @@ def test_applications(once):
             abs_error=abs(exact - estimated),
         )
         assert abs(exact - estimated) < 0.25
-    emit("applications", table)
+    emit("applications", table, wall_time=elapsed(), engine=engine)
+    engine.close()

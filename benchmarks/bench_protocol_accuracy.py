@@ -4,10 +4,14 @@ Runs the actual estimation pipeline — monolithic Fig-2d circuit and the
 fully distributed COMPAS protocol — on random density-matrix workloads and
 reports |estimate - exact| in units of the standard error.  A correct,
 unbiased protocol keeps every row within a few sigma.
+
+Shot execution flows through a shared :class:`repro.engine.Engine` (batched
+scheduling + result cache); the emitted JSON records the wall time and the
+engine's backend/cache statistics.
 """
 
 import numpy as np
-from conftest import FULL_SCALE, emit
+from conftest import FULL_SCALE, emit, make_engine, stopwatch
 
 from repro.core import multiparty_swap_test
 from repro.core.cyclic_shift import multivariate_trace
@@ -24,6 +28,7 @@ def test_protocol_accuracy(once):
         ["backend", "k", "n", "exact", "estimate", "stderr_re", "sigmas"],
     )
     rng = np.random.default_rng(2026)
+    engine = make_engine()
 
     def run():
         rows = []
@@ -31,7 +36,7 @@ def test_protocol_accuracy(once):
             states = [random_density_matrix(n, rng=rng) for _ in range(k)]
             exact = multivariate_trace(states)
             result = multiparty_swap_test(
-                states, shots=SHOTS_MONO, variant="d", seed=k * 17 + n
+                states, shots=SHOTS_MONO, variant="d", seed=k * 17 + n, engine=engine
             )
             rows.append(("monolithic-d", k, n, exact, result))
         for k in (2, 3):
@@ -43,11 +48,13 @@ def test_protocol_accuracy(once):
                 seed=k * 31,
                 backend="compas",
                 design="teledata",
+                engine=engine,
             )
             rows.append(("compas-teledata", k, 1, exact, result))
         return rows
 
-    rows = once(run)
+    with stopwatch() as elapsed:
+        rows = once(run)
     for backend, k, n, exact, result in rows:
         sigma = abs(result.estimate.real - exact.real) / max(result.stderr_re, 1e-9)
         table.add_row(
@@ -60,4 +67,5 @@ def test_protocol_accuracy(once):
             sigmas=f"{sigma:.2f}",
         )
         assert result.within(exact, sigmas=5.5)
-    emit("protocol_accuracy", table)
+    emit("protocol_accuracy", table, wall_time=elapsed(), engine=engine)
+    engine.close()

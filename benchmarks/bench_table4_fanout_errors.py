@@ -7,7 +7,7 @@ and probabilities grow with p and the target count.  Paper anchor:
 ZIIII at p=0.003, 4 targets = 1.01%.
 """
 
-from conftest import FULL_SCALE, emit
+from conftest import FULL_SCALE, emit, make_engine, stopwatch
 
 from repro.analysis import fanout_error_distribution
 from repro.reporting import Table
@@ -17,14 +17,18 @@ SHOTS = 100_000 if FULL_SCALE else 20_000
 
 def test_table4_fanout_errors(once):
     grid = [(p, t) for p in (0.001, 0.003, 0.005) for t in (4, 6, 8)]
+    engine = make_engine()
 
     def run_grid():
         return [
-            fanout_error_distribution(p, t, shots=SHOTS, seed=hash((p, t)) % 2**31)
+            fanout_error_distribution(
+                p, t, shots=SHOTS, seed=hash((p, t)) % 2**31, engine=engine
+            )
             for p, t in grid
         ]
 
-    reports = once(run_grid)
+    with stopwatch() as elapsed:
+        reports = once(run_grid)
     table = Table(
         f"Table 4 — top Fanout errors ({SHOTS} shots)",
         ["p_phy", "targets", "1st", "2nd", "3rd", "4th"],
@@ -37,7 +41,8 @@ def test_table4_fanout_errors(once):
             p_phy=report.p, targets=report.num_targets,
             **{"1st": cells[0], "2nd": cells[1], "3rd": cells[2], "4th": cells[3]},
         )
-    emit("table4_fanout_errors", table)
+    emit("table4_fanout_errors", table, wall_time=elapsed(), engine=engine)
+    engine.close()
 
     # Shape assertions from the paper.
     for report in reports:

@@ -8,7 +8,10 @@ Scale knobs: the paper's own artifact takes ~5 hours; these defaults are
 sized for minutes.  Set ``REPRO_BENCH_SCALE=full`` for paper-scale shots.
 """
 
+import json
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
@@ -18,13 +21,65 @@ OUT_DIR = Path(__file__).parent / "out"
 FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
 
 
-def emit(name: str, payload) -> None:
-    """Print a result object and persist its JSON dump."""
+def cpu_count() -> int:
+    """Usable CPUs (affinity-aware on Linux, portable elsewhere)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+WORKERS = max(1, min(4, cpu_count()))
+
+
+def make_engine(cache=True):
+    """The benchmarks' shared engine configuration.
+
+    Process pool when real parallelism is available (the pure-Python
+    simulators are GIL-bound, so threads cannot speed them up), serial
+    otherwise.
+    """
+    from repro.engine import Engine
+
+    executor = "process" if WORKERS > 1 else "serial"
+    return Engine(workers=WORKERS, executor=executor, cache=cache)
+
+
+def emit(name: str, payload, wall_time: float | None = None, engine=None) -> None:
+    """Print a result object and persist its JSON dump.
+
+    ``wall_time`` (seconds) and ``engine`` (a :class:`repro.engine.Engine`,
+    whose cumulative statistics — jobs, shots, backend mix, cache hit/miss
+    counters — are snapshotted) are recorded under a ``meta`` key in the
+    persisted payload.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     text = payload.to_text()
     print()
     print(text)
-    (OUT_DIR / f"{name}.json").write_text(payload.to_json())
+    document = json.loads(payload.to_json())
+    meta = {"wall_time_s": wall_time}
+    if engine is not None:
+        meta["engine"] = engine.stats_dict()
+        print(f"engine: {json.dumps(meta['engine'])}")
+    if wall_time is not None:
+        print(f"wall time: {wall_time:.2f}s")
+    document["meta"] = meta
+    (OUT_DIR / f"{name}.json").write_text(json.dumps(document))
+
+
+@contextmanager
+def stopwatch():
+    """Measure a with-block's wall time: ``elapsed()`` after the block."""
+    start = time.perf_counter()
+    stop = {"at": None}
+
+    def elapsed() -> float:
+        return (stop["at"] or time.perf_counter()) - start
+
+    try:
+        yield elapsed
+    finally:
+        stop["at"] = time.perf_counter()
 
 
 @pytest.fixture

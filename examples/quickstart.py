@@ -1,8 +1,9 @@
 """Quickstart: estimate a multivariate trace with the multi-party SWAP test.
 
 Builds three random single-qubit mixed states, runs the constant-depth
-COMPAS-style circuit (Fig 2d), and compares the estimate against the exact
-trace tr(rho_1 rho_2 rho_3).  Then repeats the experiment on the fully
+COMPAS-style circuit (Fig 2d) through the execution engine (worker pool +
+result cache), and compares the estimate against the exact trace
+tr(rho_1 rho_2 rho_3).  Then repeats the experiment on the fully
 distributed protocol, printing its Bell-pair ledger and locality audit.
 
 Run:  python examples/quickstart.py
@@ -10,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import multiparty_swap_test, random_density_matrix
+from repro import Engine, multiparty_swap_test, random_density_matrix
 from repro.core import build_compas
 from repro.core.cyclic_shift import multivariate_trace
 
@@ -21,21 +22,32 @@ def main() -> None:
     exact = multivariate_trace(states)
     print(f"exact tr(rho1 rho2 rho3) = {exact:.4f}")
 
-    # Monolithic constant-depth circuit (the paper's Fig 2d variant).
-    result = multiparty_swap_test(states, shots=4000, variant="d", seed=1)
-    print(
-        f"monolithic estimate      = {result.estimate:.4f}"
-        f"  (stderr {result.stderr_re:.4f})"
-    )
+    # All shot execution flows through the engine: shots are split into
+    # batches across a worker pool and results are cached by job hash.
+    with Engine(workers=4, cache=True) as engine:
+        # Monolithic constant-depth circuit (the paper's Fig 2d variant).
+        result = multiparty_swap_test(states, shots=4000, variant="d", seed=1, engine=engine)
+        print(
+            f"monolithic estimate      = {result.estimate:.4f}"
+            f"  (stderr {result.stderr_re:.4f})"
+        )
 
-    # Fully distributed COMPAS protocol, one QPU per state.
-    result = multiparty_swap_test(
-        states, shots=2000, seed=2, backend="compas", design="teledata"
-    )
-    print(
-        f"distributed estimate     = {result.estimate:.4f}"
-        f"  (stderr {result.stderr_re:.4f})"
-    )
+        # Re-running the identical experiment is served from the cache.
+        repeat = multiparty_swap_test(states, shots=4000, variant="d", seed=1, engine=engine)
+        print(
+            f"repeat (cache hit)       = {repeat.estimate:.4f}"
+            f"  from_cache={repeat.resources['engine']['from_cache']}"
+        )
+
+        # Fully distributed COMPAS protocol, one QPU per state.
+        result = multiparty_swap_test(
+            states, shots=2000, seed=2, backend="compas", design="teledata", engine=engine
+        )
+        print(
+            f"distributed estimate     = {result.estimate:.4f}"
+            f"  (stderr {result.stderr_re:.4f})"
+        )
+        print("engine stats:", engine.stats_dict())
 
     build = build_compas(3, 1, design="teledata", basis="x")
     report = build.locality()

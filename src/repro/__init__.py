@@ -5,20 +5,24 @@ Goldstein-Gelb et al., including every substrate the paper relies on:
 circuit IR, statevector / density-matrix / stabilizer simulators, a
 distributed QPU network model with Bell-pair accounting, teleoperation
 primitives, the constant-depth Fanout, the COMPAS protocol itself, the
-paper's resource and noise analyses, and the Section 6 applications.
+paper's resource and noise analyses, the Section 6 applications, and a
+parallel execution engine (batched shot scheduling, backend auto-selection,
+result caching) through which all shot execution flows.
 
 Quickstart::
 
     import numpy as np
-    from repro import multiparty_swap_test, random_density_matrix
+    from repro import Engine, multiparty_swap_test, random_density_matrix
 
     states = [random_density_matrix(1) for _ in range(3)]
-    result = multiparty_swap_test(states, shots=20000, seed=7)
+    with Engine(workers=4, cache=True) as engine:
+        result = multiparty_swap_test(states, shots=20000, seed=7, engine=engine)
     exact = np.trace(states[0] @ states[1] @ states[2])
     print(result.estimate, exact)
 """
 
 from .circuits import Circuit, Condition, Instruction
+from .engine import Engine, Job, JobResult, ResultCache
 from .sim import (
     DensitySimulator,
     NoiseModel,
@@ -41,6 +45,10 @@ __all__ = [
     "Circuit",
     "Condition",
     "Instruction",
+    "Engine",
+    "Job",
+    "JobResult",
+    "ResultCache",
     "DensitySimulator",
     "NoiseModel",
     "Pauli",

@@ -18,6 +18,9 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..engine import Engine, Job
 from ..fanout.fanout import append_fanout, fanout_ancillas_required
 from ..network.program import DistributedProgram
 from ..sim.noisemodel import NoiseModel
@@ -68,10 +71,26 @@ def fanout_error_distribution(
     num_targets: int,
     shots: int = 100_000,
     seed: int | None = None,
+    engine: Engine | None = None,
 ) -> FanoutErrorReport:
-    """Sample the effective Pauli error distribution of the noisy Fanout."""
+    """Sample the effective Pauli error distribution of the noisy Fanout.
+
+    With an ``engine``, the sampling runs as a frames-mode job (batched
+    across the engine's workers and served from its cache on repeats).
+    """
     circuit, data = build_fanout_circuit(num_targets)
     noise = NoiseModel.from_base(p)
-    simulator = PauliFrameSimulator(circuit, noise, seed=seed)
-    counts = simulator.sample_error_distribution(data, shots)
+    if engine is not None:
+        job = Job(
+            circuit=circuit,
+            shots=shots,
+            seed=int(np.random.default_rng(seed).integers(2**63)),
+            noise=noise,
+            frame_qubits=tuple(data),
+            mode="frames",
+        )
+        counts = Counter(engine.run(job).counts)
+    else:
+        simulator = PauliFrameSimulator(circuit, noise, seed=seed)
+        counts = simulator.sample_error_distribution(data, shots)
     return FanoutErrorReport(p=p, num_targets=num_targets, shots=shots, counts=counts)

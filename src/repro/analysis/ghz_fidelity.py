@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.ghz import distributed_ghz
+from ..engine import Engine, Job
 from ..network.program import DistributedProgram
 from ..network.topology import line_topology
 from ..sim.density import DensitySimulator
@@ -67,10 +68,31 @@ def ghz_fidelity_frames(
     p: float,
     shots: int = 20_000,
     seed: int | None = None,
+    engine: Engine | None = None,
 ) -> float:
-    """<GHZ|rho|GHZ> of the noisy prep, by Pauli-frame sampling."""
+    """<GHZ|rho|GHZ> of the noisy prep, by Pauli-frame sampling.
+
+    With an ``engine``, the error distribution is sampled as a batched
+    frames-mode job and the commutation predicate is applied to the tally.
+    """
     circuit, members = build_distributed_ghz_circuit(num_parties)
     noise = NoiseModel.from_base(p)
+    if engine is not None:
+        job = Job(
+            circuit=circuit,
+            shots=shots,
+            seed=int(np.random.default_rng(seed).integers(2**63)),
+            noise=noise,
+            frame_qubits=tuple(members),
+            mode="frames",
+        )
+        counts = engine.run(job).counts
+        good = sum(
+            count
+            for label, count in counts.items()
+            if ghz_error_commutes(Pauli.from_label(label))
+        )
+        return good / shots
     simulator = PauliFrameSimulator(circuit, noise, seed=seed)
     good = 0
     for _ in range(shots):
@@ -107,11 +129,14 @@ def ghz_fidelity_sweep(
     parties: list[int] | None = None,
     shots: int = 20_000,
     seed: int | None = None,
+    engine: Engine | None = None,
 ) -> GhzSweepResult:
     """Sweep the party count at fixed noise, with linear fit (Fig 9a)."""
     parties = parties or [4, 6, 8, 10, 12]
     fidelities = [
-        ghz_fidelity_frames(r, p, shots=shots, seed=None if seed is None else seed + r)
+        ghz_fidelity_frames(
+            r, p, shots=shots, seed=None if seed is None else seed + r, engine=engine
+        )
         for r in parties
     ]
     return GhzSweepResult(p, list(parties), fidelities, linear_fit(parties, fidelities))

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.estimator import multiparty_swap_test
 from ..core.cyclic_shift import multivariate_trace
+from ..engine import Engine
 
 __all__ = [
     "FactoredPolynomial",
@@ -139,6 +140,7 @@ def parallel_qsp_trace_sampled(
     shots: int = 30000,
     seed: int | None = None,
     variant: str = "d",
+    engine: Engine | None = None,
 ) -> tuple[float, float]:
     """tr(P(rho)) through the real multi-party SWAP test.
 
@@ -167,7 +169,9 @@ def parallel_qsp_trace_sampled(
     if len(states) == 1:
         estimate = 1.0
     else:
-        result = multiparty_swap_test(states, shots=shots, seed=seed, variant=variant)
+        result = multiparty_swap_test(
+            states, shots=shots, seed=seed, variant=variant, engine=engine
+        )
         estimate = result.estimate.real
     scale = factored.scale * math.prod(norms)
     exact = parallel_qsp_trace_exact(rho, factored)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.estimator import MultivariateTraceResult, multiparty_swap_test
+from ..engine import Engine
 
 __all__ = ["RenyiResult", "renyi_entropy_exact", "estimate_renyi_entropy"]
 
@@ -50,6 +51,7 @@ def estimate_renyi_entropy(
     backend: str = "monolithic",
     variant: str = "d",
     design: str = "teledata",
+    engine: Engine | None = None,
 ) -> RenyiResult:
     """Estimate S_m(rho) with the (optionally distributed) SWAP test.
 
@@ -66,6 +68,7 @@ def estimate_renyi_entropy(
         backend=backend,
         variant=variant,
         design=design,
+        engine=engine,
     )
     moment = max(result.estimate.real, 1e-9)
     entropy = math.log(moment) / (1 - order)

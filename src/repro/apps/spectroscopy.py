@@ -19,6 +19,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core.estimator import multiparty_swap_test
+from ..engine import Engine
 from ..utils.linalg import partial_trace
 
 __all__ = [
@@ -84,6 +85,7 @@ def entanglement_spectroscopy(
     exact: bool = False,
     backend: str = "monolithic",
     variant: str = "d",
+    engine: Engine | None = None,
 ) -> SpectroscopyResult:
     """Entanglement spectrum of a subsystem of a pure state.
 
@@ -108,6 +110,7 @@ def entanglement_spectroscopy(
                 seed=int(rng.integers(2**63)),
                 backend=backend,
                 variant=variant,
+                engine=engine,
             )
             power_sums.append(result.estimate.real)
     eigenvalues = spectrum_from_power_sums(power_sums)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.estimator import exact_swap_test_expectation, multiparty_swap_test
+from ..engine import Engine
 from ..sim.pauli import Pauli
 
 __all__ = [
@@ -72,6 +73,7 @@ def virtual_expectation(
     seed: int | None = None,
     exact_circuit: bool = False,
     variant: str = "d",
+    engine: Engine | None = None,
 ) -> VirtualExpectationResult:
     """Estimate <O>_chi with two SWAP tests (numerator and denominator).
 
@@ -93,9 +95,14 @@ def virtual_expectation(
             seed=int(rng.integers(2**63)),
             variant=variant,
             observable=observable,
+            engine=engine,
         )
         den_result = multiparty_swap_test(
-            states, shots=shots, seed=int(rng.integers(2**63)), variant=variant
+            states,
+            shots=shots,
+            seed=int(rng.integers(2**63)),
+            variant=variant,
+            engine=engine,
         )
         numerator = num_result.estimate
         denominator = den_result.estimate

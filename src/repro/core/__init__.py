@@ -19,6 +19,7 @@ from .estimator import (
     multiparty_swap_test,
     run_swap_test_shots,
     sample_pure_inputs,
+    swap_test_job,
 )
 from .ghz import GhzPlan, distributed_ghz, local_ghz_constant_depth, local_ghz_linear
 from .swap_test import VARIANTS, SwapTestBuild, build_monolithic_swap_test
@@ -46,6 +47,7 @@ __all__ = [
     "multiparty_swap_test",
     "run_swap_test_shots",
     "sample_pure_inputs",
+    "swap_test_job",
     "GhzPlan",
     "distributed_ghz",
     "local_ghz_constant_depth",

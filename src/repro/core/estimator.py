@@ -11,19 +11,28 @@ variant, samples eigenvector trajectories for mixed inputs, runs the X- and
 Y-basis circuits, and returns a :class:`MultivariateTraceResult`.  The exact
 (shot-free) path used throughout the test-suite evaluates the same circuits
 as unitaries and sums over the input states' eigen-decompositions.
+
+Shot execution flows through :mod:`repro.engine`: each basis run becomes a
+content-hashed :class:`~repro.engine.Job` whose shots the engine splits into
+deterministic batches.  Passing ``engine=Engine(workers=4, cache=True)``
+parallelises and caches the runs *bit-identically* to the default
+single-worker direct path, because batch RNG substreams depend only on the
+job spec, never on the worker count.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from collections.abc import Mapping, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
+from ..engine import Engine, Ensemble, Job
 from ..sim.noisemodel import NoiseModel
 from ..sim.statevector import StatevectorSimulator, apply_gate
 from ..utils.linalg import kron_all
+from ..utils.states import assemble_initial_state
 from .cyclic_shift import multivariate_trace
 from .swap_test import SwapTestBuild, build_monolithic_swap_test
 
@@ -31,10 +40,21 @@ __all__ = [
     "MultivariateTraceResult",
     "assemble_initial_state",
     "sample_pure_inputs",
+    "swap_test_job",
     "run_swap_test_shots",
     "exact_swap_test_expectation",
     "multiparty_swap_test",
 ]
+
+_FALLBACK_ENGINE: Engine | None = None
+
+
+def _default_engine() -> Engine:
+    """The serial, uncached engine used when the caller supplies none."""
+    global _FALLBACK_ENGINE
+    if _FALLBACK_ENGINE is None:
+        _FALLBACK_ENGINE = Engine(workers=1, executor="serial", cache=False)
+    return _FALLBACK_ENGINE
 
 
 @dataclass
@@ -69,43 +89,6 @@ class MultivariateTraceResult:
             abs(self.estimate.real - exact.real) <= margin_re
             and abs(self.estimate.imag - exact.imag) <= margin_im
         )
-
-
-def assemble_initial_state(
-    num_qubits: int, placements: Mapping[tuple[int, ...], np.ndarray]
-) -> np.ndarray:
-    """Tensor statevectors into a full register, |0> elsewhere.
-
-    Each key is a tuple of *contiguous ascending* global qubit indices; the
-    value is the statevector to load there.
-    """
-    segments: list[tuple[int, np.ndarray]] = []
-    for qubits, vector in placements.items():
-        qubits = tuple(qubits)
-        if list(qubits) != list(range(qubits[0], qubits[0] + len(qubits))):
-            raise ValueError(f"register {qubits} is not contiguous ascending")
-        vector = np.asarray(vector, dtype=complex)
-        if vector.shape != (2 ** len(qubits),):
-            raise ValueError("placement vector has wrong dimension")
-        segments.append((qubits[0], vector))
-    segments.sort()
-    parts: list[np.ndarray] = []
-    cursor = 0
-    zero = np.array([1.0, 0.0], dtype=complex)
-    for start, vector in segments:
-        if start < cursor:
-            raise ValueError("overlapping placements")
-        while cursor < start:
-            parts.append(zero)
-            cursor += 1
-        parts.append(vector)
-        cursor += int(math.log2(len(vector)))
-    while cursor < num_qubits:
-        parts.append(zero)
-        cursor += 1
-    if cursor != num_qubits:
-        raise ValueError("placements exceed the register")
-    return kron_all(parts)
 
 
 def sample_pure_inputs(
@@ -150,42 +133,58 @@ def _eigen_ensembles(
     return ensembles
 
 
+def swap_test_job(
+    build: SwapTestBuild,
+    states: Sequence[np.ndarray],
+    shots: int,
+    seed: int,
+    noise: NoiseModel | None = None,
+    batch_size: int | None = None,
+) -> Job:
+    """Package a built (readout-carrying) SWAP test as an engine job.
+
+    Each input state becomes a per-shot :class:`~repro.engine.Ensemble` over
+    its eigen-decomposition (pure states degenerate to a single component),
+    loaded into the position register the build assigned to it.
+    """
+    if build.basis is None:
+        raise ValueError("build must include a readout basis")
+    ensembles = []
+    for position in range(build.k):
+        state = states[build.user_of_position[position]]
+        pairs = _eigen_ensembles([state])[0]
+        ensembles.append(
+            Ensemble.from_states(build.position_registers[position], pairs)
+        )
+    return Job(
+        circuit=build.circuit(),
+        shots=shots,
+        seed=seed,
+        noise=noise,
+        ensembles=tuple(ensembles),
+        readout=build.readout_clbits,
+        batch_size=batch_size,
+        metadata={"variant": build.variant, "k": build.k, "n": build.n},
+    )
+
+
 def run_swap_test_shots(
     build: SwapTestBuild,
     states: Sequence[np.ndarray],
     shots: int,
     rng: np.random.Generator,
     noise: NoiseModel | None = None,
+    engine: Engine | None = None,
 ) -> tuple[float, float]:
     """Run ``shots`` trajectories of a built (readout-carrying) circuit.
 
     Returns ``(mean_parity, stderr)`` where parity is the +-1 product of the
-    GHZ-register outcomes.
+    GHZ-register outcomes.  The job seed is drawn from ``rng``; execution
+    goes through ``engine`` (or the serial fallback engine).
     """
-    if build.basis is None:
-        raise ValueError("build must include a readout basis")
-    circuit = build.circuit()
-    simulator = StatevectorSimulator(seed=int(rng.integers(2**63)), noise=noise)
-    total = 0.0
-    total_sq = 0.0
-    for _ in range(shots):
-        pure = sample_pure_inputs(states, rng)
-        placements = {
-            build.position_registers[p]: pure[build.user_of_position[p]]
-            for p in range(build.k)
-        }
-        init = assemble_initial_state(circuit.num_qubits, placements)
-        result = simulator.run(circuit, initial_state=init)
-        parity = 0
-        for clbit in build.readout_clbits:
-            parity ^= result.clbits[clbit]
-        value = 1.0 - 2.0 * parity
-        total += value
-        total_sq += value * value
-    mean = total / shots
-    variance = max(total_sq / shots - mean * mean, 0.0)
-    stderr = math.sqrt(variance / shots)
-    return mean, stderr
+    job = swap_test_job(build, states, shots, int(rng.integers(2**63)), noise=noise)
+    result = (engine or _default_engine()).run(job)
+    return result.parity_mean, result.parity_stderr
 
 
 def _ghz_observable(build: SwapTestBuild, which: str) -> np.ndarray:
@@ -252,6 +251,7 @@ def multiparty_swap_test(
     backend: str = "monolithic",
     design: str = "teledata",
     observable: str | None = None,
+    engine: Engine | None = None,
 ) -> MultivariateTraceResult:
     """Estimate tr(rho_1 rho_2 ... rho_k) with the multi-party SWAP test.
 
@@ -259,7 +259,9 @@ def multiparty_swap_test(
     Half the shots are spent in the X basis (real part), half in the Y basis
     (imaginary part).  ``backend`` selects the monolithic Fig-2 circuit
     (``variant`` picks which) or the fully distributed COMPAS protocol
-    (``design`` picks telegate/teledata).
+    (``design`` picks telegate/teledata).  ``engine`` routes shot execution
+    through a configured :class:`~repro.engine.Engine` (worker pool + result
+    cache); results are bit-identical to the default serial path.
     """
     states = [np.asarray(s, dtype=complex) for s in states]
     k = len(states)
@@ -271,6 +273,8 @@ def multiparty_swap_test(
     n = int(math.log2(dim))
     if 2**n != dim:
         raise ValueError("state dimension must be a power of two")
+    if shots < 2:
+        raise ValueError("need at least two shots (one per readout basis)")
     rng = np.random.default_rng(seed)
     shots_re = shots // 2
     shots_im = shots - shots_re
@@ -299,13 +303,19 @@ def multiparty_swap_test(
     else:
         raise ValueError("backend must be 'monolithic' or 'compas'")
 
-    mean_x, err_x = run_swap_test_shots(build_x, states, shots_re, rng, noise=noise)
-    mean_y, err_y = run_swap_test_shots(build_y, states, shots_im, rng, noise=noise)
+    job_x = swap_test_job(build_x, states, shots_re, int(rng.integers(2**63)), noise=noise)
+    job_y = swap_test_job(build_y, states, shots_im, int(rng.integers(2**63)), noise=noise)
+    result_x, result_y = (engine or _default_engine()).run_many([job_x, job_y])
+    resources["engine"] = {
+        "backend": result_x.backend,
+        "batches": result_x.num_batches + result_y.num_batches,
+        "from_cache": result_x.from_cache and result_y.from_cache,
+    }
 
     return MultivariateTraceResult(
-        estimate=complex(mean_x, mean_y),
-        stderr_re=err_x,
-        stderr_im=err_y,
+        estimate=complex(result_x.parity_mean, result_y.parity_mean),
+        stderr_re=result_x.parity_stderr,
+        stderr_im=result_y.parity_stderr,
         shots_re=shots_re,
         shots_im=shots_im,
         k=k,

@@ -21,6 +21,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..engine import Engine
 from .cyclic_shift import multivariate_trace
 from .estimator import MultivariateTraceResult, multiparty_swap_test
 
@@ -62,6 +63,7 @@ def estimate_trace_sum(
     variant: str = "d",
     backend: str = "monolithic",
     design: str = "teledata",
+    engine: Engine | None = None,
 ) -> TraceSumResult:
     """Estimate a weighted sum of multivariate traces.
 
@@ -99,6 +101,7 @@ def estimate_trace_sum(
             variant=variant,
             backend=backend,
             design=design,
+            engine=engine,
         )
         terms.append(result)
         total += weight * result.estimate

@@ -1,0 +1,33 @@
+"""Parallel execution engine: batching, backend routing, result caching.
+
+All shot execution in the repository flows through this package — the
+estimator, the Section-6 applications, and the benchmarks submit
+:class:`Job` specs and get :class:`JobResult` aggregates back.  See
+:mod:`repro.engine.engine` for the layer diagram.
+"""
+
+from .cache import CacheStats, ResultCache
+from .engine import Engine, EngineStats, SweepPoint
+from .job import DEFAULT_BATCH_SIZE, Ensemble, Job, JobResult
+from .router import BackendChoice, BackendRouter
+from .runners import Batch, BatchStats, batch_rng, execute_batch
+from .scheduler import Scheduler
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "Engine",
+    "EngineStats",
+    "SweepPoint",
+    "DEFAULT_BATCH_SIZE",
+    "Ensemble",
+    "Job",
+    "JobResult",
+    "BackendChoice",
+    "BackendRouter",
+    "Batch",
+    "BatchStats",
+    "batch_rng",
+    "execute_batch",
+    "Scheduler",
+]

@@ -1,0 +1,83 @@
+"""Result cache keyed on job content hashes.
+
+Two tiers: a process-local dict and an optional on-disk JSON store (one file
+per job hash).  A disk hit is promoted into memory.  Because the job hash
+covers circuit, shots, seed, noise, inputs, and the batch partition, a cache
+hit is byte-for-byte the result the engine would have recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .job import JobResult
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """In-memory + optional on-disk store of :class:`JobResult` by job hash."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, JobResult] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> JobResult | None:
+        """Look up a result; returns a cache-flagged copy or None."""
+        result = self._memory.get(key)
+        if result is None and self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                result = JobResult.from_dict(json.loads(path.read_text()))
+                self._memory[key] = result
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result.cached_copy()
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Store a freshly computed result under its job hash."""
+        self._memory[key] = result
+        self.stats.stores += 1
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._path(key).write_text(json.dumps(result.to_dict()))
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk files are left in place)."""
+        self._memory.clear()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self.directory is not None and self._path(key).exists()
+        )

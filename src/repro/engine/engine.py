@@ -1,0 +1,193 @@
+"""The Engine facade: the single entry point for all shot execution.
+
+Layers (each independently testable):
+
+* :class:`~repro.engine.job.Job` / :class:`~repro.engine.job.JobResult` —
+  content-hashed work spec and aggregated outcome;
+* :class:`~repro.engine.router.BackendRouter` — picks the cheapest capable
+  simulator per job;
+* :class:`~repro.engine.scheduler.Scheduler` — splits shots into batches
+  and fans them across a worker pool, deterministically;
+* :class:`~repro.engine.cache.ResultCache` — in-memory + on-disk result
+  store keyed on the job hash.
+
+``Engine(workers=1, cache=False)`` is exactly the legacy direct path: one
+worker, no cache, same batch partition — and therefore the same bits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping, Sequence
+
+from .cache import ResultCache
+from .job import Job, JobResult
+from .router import BackendChoice, BackendRouter
+from .runners import BatchStats
+from .scheduler import Scheduler
+
+__all__ = ["Engine", "EngineStats", "SweepPoint"]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative execution statistics of one engine."""
+
+    jobs: int = 0
+    cached_jobs: int = 0
+    shots: int = 0
+    wall_time: float = 0.0
+    backends: Counter = field(default_factory=Counter)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (cache stats are merged in by the engine)."""
+        return {
+            "jobs": self.jobs,
+            "cached_jobs": self.cached_jobs,
+            "shots": self.shots,
+            "wall_time": self.wall_time,
+            "backends": dict(self.backends),
+        }
+
+
+@dataclass
+class SweepPoint:
+    """One grid point of a parameter sweep."""
+
+    params: dict
+    result: JobResult
+
+
+class Engine:
+    """Batched, cached, backend-routed shot execution.
+
+    ``cache`` may be ``True`` (in-memory), ``False``/``None`` (disabled), a
+    path (in-memory + on-disk), or a ready :class:`ResultCache`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        executor: str = "thread",
+        cache: bool | str | ResultCache | None = False,
+        router: BackendRouter | None = None,
+    ):
+        self.scheduler = Scheduler(workers=workers, executor=executor)
+        self.router = router or BackendRouter()
+        if isinstance(cache, ResultCache):
+            self.cache: ResultCache | None = cache
+        elif cache is True:
+            self.cache = ResultCache()
+        elif cache:
+            self.cache = ResultCache(directory=cache)
+        else:
+            self.cache = None
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, job: Job) -> JobResult:
+        """Execute one job (or serve it from cache)."""
+        key = job.content_hash()
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.stats.jobs += 1
+                self.stats.cached_jobs += 1
+                return hit
+        choice = self.router.select(job)
+        start = time.perf_counter()
+        batch_stats = self.scheduler.execute(job, choice.name)
+        elapsed = time.perf_counter() - start
+        result = _combine(job, key, choice, batch_stats, elapsed)
+        if self.cache is not None:
+            self.cache.put(key, result)
+        self.stats.jobs += 1
+        self.stats.shots += job.shots
+        self.stats.wall_time += elapsed
+        self.stats.backends[choice.name] += 1
+        return result
+
+    def run_many(self, jobs: Sequence[Job]) -> list[JobResult]:
+        """Execute several jobs; each job's batches share the worker pool."""
+        return [self.run(job) for job in jobs]
+
+    def sweep(
+        self, make_job: Callable[..., Job], grid: Mapping[str, Sequence]
+    ) -> list[SweepPoint]:
+        """Run ``make_job(**params)`` over the cartesian product of ``grid``.
+
+        Returns one :class:`SweepPoint` per grid point, in row-major order
+        of the grid's keys.
+        """
+        keys = list(grid)
+        points = []
+        for combo in itertools.product(*(grid[k] for k in keys)):
+            params = dict(zip(keys, combo))
+            points.append(SweepPoint(params=params, result=self.run(make_job(**params))))
+        return points
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> dict:
+        """Engine statistics plus cache counters, JSON-safe."""
+        payload = self.stats.to_dict()
+        payload["cache"] = self.cache.stats.to_dict() if self.cache is not None else None
+        return payload
+
+    def close(self) -> None:
+        """Release the worker pool."""
+        self.scheduler.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _combine(
+    job: Job,
+    key: str,
+    choice: BackendChoice,
+    batch_stats: Sequence[BatchStats],
+    elapsed: float,
+) -> JobResult:
+    """Reduce batch aggregates in index order into one JobResult."""
+    ordered = sorted(batch_stats, key=lambda s: s.index)
+    counts: Counter = Counter()
+    for stats in ordered:
+        counts.update(stats.counts)
+    parity_mean = parity_stderr = None
+    probabilities = None
+    if job.mode == "exact":
+        probabilities = ordered[0].probabilities
+        if job.readout:
+            parity_mean = ordered[0].parity_total
+            parity_stderr = 0.0
+    elif job.readout:
+        total = 0.0
+        total_sq = 0.0
+        for stats in ordered:
+            total += stats.parity_total
+            total_sq += stats.parity_total_sq
+        parity_mean = total / job.shots
+        variance = max(total_sq / job.shots - parity_mean * parity_mean, 0.0)
+        parity_stderr = math.sqrt(variance / job.shots)
+    return JobResult(
+        job_hash=key,
+        backend=choice.name,
+        shots=job.shots,
+        num_batches=len(ordered),
+        counts=dict(counts) if counts else None,
+        probabilities=probabilities,
+        parity_mean=parity_mean,
+        parity_stderr=parity_stderr,
+        elapsed=elapsed,
+    )

@@ -1,0 +1,237 @@
+"""Job and JobResult: the unit of work the execution engine schedules.
+
+A :class:`Job` is a fully self-describing shot workload — circuit, shot
+budget, noise model, seed, input-state specification, and readout — with a
+stable content hash.  Two jobs with identical specs hash identically, and any
+mutation of the circuit (gate name, qubit, parameter, condition), the shot
+count, the seed, the noise rates, or the input states changes the hash.  The
+hash keys the :mod:`result cache <repro.engine.cache>` and is safe to persist
+across processes.
+
+Stochastic inputs are described by :class:`Ensemble` entries: each names a
+register and a convex mixture of pure states to load there, sampled freshly
+per shot (the trajectory unravelling of a mixed input that
+``sample_pure_inputs`` performs in the legacy path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from dataclasses import dataclass, field, replace
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..sim.noisemodel import NoiseModel
+
+__all__ = ["DEFAULT_BATCH_SIZE", "Ensemble", "Job", "JobResult"]
+
+#: Shots per scheduler batch when the job does not override it.  The batch
+#: partition (not the worker count) defines the RNG substreams, so this value
+#: is part of the job's content hash: results are bit-identical for any
+#: worker count but change if the partition changes.
+DEFAULT_BATCH_SIZE = 256
+
+#: Job execution modes.
+MODES = ("sample", "exact", "frames")
+
+
+@dataclass(frozen=True)
+class Ensemble:
+    """A convex mixture of pure states loaded into one register per shot."""
+
+    qubits: tuple[int, ...]
+    weights: tuple[float, ...]
+    vectors: tuple[bytes, ...] = field(repr=False)
+    dim: int = 0
+
+    @classmethod
+    def from_states(
+        cls, qubits: Sequence[int], pairs: Sequence[tuple[float, np.ndarray]]
+    ) -> "Ensemble":
+        """Build from (weight, statevector) pairs."""
+        if not pairs:
+            raise ValueError("ensemble needs at least one component")
+        dim = int(np.asarray(pairs[0][1]).shape[0])
+        vectors = []
+        weights = []
+        for w, v in pairs:
+            v = np.ascontiguousarray(np.asarray(v, dtype=complex))
+            if v.shape != (dim,):
+                raise ValueError("ensemble vectors must share one dimension")
+            weights.append(float(w))
+            vectors.append(v.tobytes())
+        total = sum(weights)
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+            weights = [w / total for w in weights]
+        return cls(
+            qubits=tuple(int(q) for q in qubits),
+            weights=tuple(weights),
+            vectors=tuple(vectors),
+            dim=dim,
+        )
+
+    def vector(self, index: int) -> np.ndarray:
+        """The index-th component statevector."""
+        return np.frombuffer(self.vectors[index], dtype=complex)
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether the ensemble has a single component (no sampling needed)."""
+        return len(self.weights) == 1
+
+
+@dataclass
+class Job:
+    """One schedulable shot workload.
+
+    ``mode`` selects the semantics:
+
+    * ``"sample"`` — run ``shots`` stochastic trajectories, tally classical
+      registers, and (if ``readout`` names clbits) the ±1 parity statistic.
+    * ``"exact"``  — exact mixed-state evolution; shots are ignored and the
+      full branch distribution is returned.
+    * ``"frames"`` — sample effective Pauli errors of a noisy Clifford
+      circuit on ``frame_qubits`` (the Table-4 workload).
+    """
+
+    circuit: Circuit
+    shots: int
+    seed: int
+    noise: NoiseModel | None = None
+    initial_state: np.ndarray | None = None
+    ensembles: tuple[Ensemble, ...] = ()
+    readout: tuple[int, ...] = ()
+    frame_qubits: tuple[int, ...] = ()
+    mode: str = "sample"
+    batch_size: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if self.mode != "exact" and self.shots < 1:
+            raise ValueError("sampled jobs need at least one shot")
+        if self.seed < 0:
+            raise ValueError("job seed must be non-negative")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.mode == "frames" and not self.frame_qubits:
+            raise ValueError("frames mode requires frame_qubits")
+        if self.initial_state is not None and self.ensembles:
+            raise ValueError("give either initial_state or ensembles, not both")
+        self.readout = tuple(int(c) for c in self.readout)
+        self.frame_qubits = tuple(int(q) for q in self.frame_qubits)
+
+    def resolved_batch_size(self) -> int:
+        """The batch size the scheduler (and the hash) actually uses."""
+        return self.batch_size if self.batch_size is not None else DEFAULT_BATCH_SIZE
+
+    # ------------------------------------------------------------------
+    # Content hash
+    # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Stable hex digest of everything that determines the result."""
+        h = hashlib.sha256()
+        h.update(b"repro-job-v1")
+        h.update(_circuit_digest(self.circuit))
+        h.update(
+            struct.pack(
+                ">qqqB",
+                self.shots,
+                self.seed,
+                self.resolved_batch_size(),
+                MODES.index(self.mode),
+            )
+        )
+        if self.noise is None or self.noise.is_noiseless:
+            h.update(b"noiseless")
+        else:
+            h.update(struct.pack(">ddd", self.noise.p1, self.noise.p2, self.noise.p_meas))
+        h.update(b"ro" + ",".join(map(str, self.readout)).encode())
+        h.update(b"fq" + ",".join(map(str, self.frame_qubits)).encode())
+        if self.initial_state is not None:
+            arr = np.ascontiguousarray(np.asarray(self.initial_state, dtype=complex))
+            h.update(b"init" + str(arr.shape).encode() + arr.tobytes())
+        for ens in self.ensembles:
+            h.update(b"ens" + ",".join(map(str, ens.qubits)).encode())
+            h.update(struct.pack(f">{len(ens.weights)}d", *ens.weights))
+            for blob in ens.vectors:
+                h.update(blob)
+        return h.hexdigest()
+
+
+def _circuit_digest(circuit: Circuit) -> bytes:
+    """Canonical byte encoding of a circuit's structure."""
+    h = hashlib.sha256()
+    h.update(struct.pack(">qq", circuit.num_qubits, circuit.num_clbits))
+    for inst in circuit.instructions:
+        h.update(inst.name.encode())
+        h.update(b"q" + ",".join(map(str, inst.qubits)).encode())
+        h.update(b"c" + ",".join(map(str, inst.clbits)).encode())
+        if inst.params:
+            h.update(struct.pack(f">{len(inst.params)}d", *inst.params))
+        if inst.condition is not None:
+            h.update(
+                b"if" + ",".join(map(str, inst.condition.clbits)).encode()
+                + bytes([inst.condition.value])
+            )
+        h.update(b";")
+    return h.digest()
+
+
+@dataclass
+class JobResult:
+    """Aggregated outcome of one job."""
+
+    job_hash: str
+    backend: str
+    shots: int
+    num_batches: int
+    counts: dict[str, int] | None = None
+    probabilities: dict[str, float] | None = None
+    parity_mean: float | None = None
+    parity_stderr: float | None = None
+    elapsed: float = 0.0
+    from_cache: bool = False
+
+    def cached_copy(self) -> "JobResult":
+        """The same result, flagged as served from cache."""
+        return replace(self, from_cache=True)
+
+    # ------------------------------------------------------------------
+    # Serialization (disk cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict."""
+        return {
+            "job_hash": self.job_hash,
+            "backend": self.backend,
+            "shots": self.shots,
+            "num_batches": self.num_batches,
+            "counts": self.counts,
+            "probabilities": self.probabilities,
+            "parity_mean": self.parity_mean,
+            "parity_stderr": self.parity_stderr,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "JobResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            job_hash=payload["job_hash"],
+            backend=payload["backend"],
+            shots=int(payload["shots"]),
+            num_batches=int(payload["num_batches"]),
+            counts=dict(payload["counts"]) if payload.get("counts") else None,
+            probabilities=(
+                dict(payload["probabilities"]) if payload.get("probabilities") else None
+            ),
+            parity_mean=payload.get("parity_mean"),
+            parity_stderr=payload.get("parity_stderr"),
+            elapsed=float(payload.get("elapsed", 0.0)),
+        )

@@ -1,0 +1,91 @@
+"""Backend auto-selection: the cheapest simulator that can honour a job.
+
+Routing rules, in order:
+
+1. ``mode="exact"``   → :class:`DensitySimulator` — exact mixed-state
+   evolution over the full branch ensemble was explicitly requested.
+2. ``mode="frames"``  → :class:`PauliFrameSimulator` — effective-Pauli-error
+   sampling; requires a Clifford circuit (Pauli-only feedback) and a
+   non-trivial Pauli noise model.
+3. ``mode="sample"``:
+   a. :class:`TableauSimulator` when the circuit is Clifford-only, the job
+      is noiseless, and the input is the computational basis state (the
+      tableau cannot load arbitrary amplitudes) — O(n^2) per gate instead of
+      O(2^n).
+   b. :class:`StatevectorSimulator` otherwise — the general trajectory
+      sampler handles non-Clifford gates, arbitrary input states, stochastic
+      input ensembles, and circuit-level depolarizing noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import is_clifford_gate
+from .job import Job
+
+__all__ = ["BackendChoice", "BackendRouter", "BACKENDS"]
+
+BACKENDS = ("tableau", "pauliframe", "statevector", "density")
+
+_PAULI_FEEDBACK = ("x", "y", "z")
+
+
+def circuit_is_clifford(circuit: Circuit) -> bool:
+    """Whether every gate in the circuit is Clifford."""
+    return all(
+        is_clifford_gate(inst.name)
+        for inst in circuit.instructions
+        if inst.is_gate and inst.name != "barrier"
+    )
+
+
+def circuit_is_frame_compatible(circuit: Circuit) -> bool:
+    """Clifford-only with Pauli-only classical feedback (frame-sim contract)."""
+    for inst in circuit.instructions:
+        if inst.name in ("barrier", "measure", "reset"):
+            continue
+        if inst.condition is not None and inst.name not in _PAULI_FEEDBACK:
+            return False
+        if not is_clifford_gate(inst.name):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """A routing decision plus the rule that produced it."""
+
+    name: str
+    reason: str
+
+
+class BackendRouter:
+    """Pure routing policy: :meth:`select` maps a job to a backend."""
+
+    def select(self, job: Job) -> BackendChoice:
+        """Pick the cheapest simulator capable of executing ``job``."""
+        if job.mode == "exact":
+            return BackendChoice(
+                "density", "exact mixed-state evolution requested"
+            )
+        if job.mode == "frames":
+            if job.noise is None or job.noise.is_noiseless:
+                raise ValueError("frames mode needs a non-trivial noise model")
+            if not circuit_is_frame_compatible(job.circuit):
+                raise ValueError(
+                    "frames mode needs a Clifford circuit with Pauli-only feedback"
+                )
+            return BackendChoice(
+                "pauliframe", "Clifford circuit + Pauli noise: frame sampling"
+            )
+        noiseless = job.noise is None or job.noise.is_noiseless
+        basis_input = job.initial_state is None and not job.ensembles
+        if basis_input and noiseless and circuit_is_clifford(job.circuit):
+            return BackendChoice(
+                "tableau", "Clifford-only, noiseless, basis input: stabilizer tableau"
+            )
+        return BackendChoice(
+            "statevector", "general circuit/input/noise: trajectory sampling"
+        )

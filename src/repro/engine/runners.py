@@ -1,0 +1,147 @@
+"""Per-backend batch executors.
+
+A *batch* is the engine's unit of parallel work: ``shots`` trajectories of
+one job driven by an RNG derived solely from ``(job.seed, batch.index)``.
+Because the substream never depends on which worker runs the batch — or on
+how many workers exist — and batch statistics are combined in index order
+with exact floating-point sums (parities are ±1), the engine's results are
+bit-identical for any worker count.
+
+``execute_batch`` is a module-level function taking only picklable
+arguments, so the scheduler can dispatch it to thread *or* process pools.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.density import DensitySimulator
+from ..sim.pauliframe import PauliFrameSimulator
+from ..sim.statevector import StatevectorSimulator
+from ..sim.tableau import TableauSimulator
+from ..utils.states import assemble_initial_state
+from .job import Job
+
+__all__ = ["Batch", "BatchStats", "batch_rng", "execute_batch"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One slice of a job's shot budget."""
+
+    index: int
+    shots: int
+
+
+@dataclass
+class BatchStats:
+    """Order-independent aggregates of one batch."""
+
+    index: int
+    shots: int
+    counts: Counter = field(default_factory=Counter)
+    parity_total: float = 0.0
+    parity_total_sq: float = 0.0
+    probabilities: dict[str, float] | None = None
+
+
+def batch_rng(seed: int, index: int) -> np.random.Generator:
+    """The deterministic RNG substream of batch ``index`` of a job."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+    )
+
+
+def _sample_initial_state(job: Job, rng: np.random.Generator) -> np.ndarray | None:
+    """Draw one shot's initial state (None means |0...0>)."""
+    if not job.ensembles:
+        return job.initial_state
+    placements = {}
+    for ens in job.ensembles:
+        if ens.is_deterministic:
+            index = 0
+        else:
+            index = int(rng.choice(len(ens.weights), p=ens.weights))
+        placements[ens.qubits] = ens.vector(index)
+    return assemble_initial_state(job.circuit.num_qubits, placements)
+
+
+def _parity(clbits: list[int], readout: tuple[int, ...]) -> int:
+    acc = 0
+    for c in readout:
+        acc ^= clbits[c] & 1
+    return acc
+
+
+def execute_batch(job: Job, batch: Batch, backend: str) -> BatchStats:
+    """Run one batch on the routed backend, returning its aggregates."""
+    if backend == "statevector":
+        return _statevector_batch(job, batch)
+    if backend == "tableau":
+        return _tableau_batch(job, batch)
+    if backend == "pauliframe":
+        return _pauliframe_batch(job, batch)
+    if backend == "density":
+        return _density_batch(job, batch)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _accumulate(stats: BatchStats, clbits: list[int], job: Job) -> None:
+    stats.counts["".join(str(b) for b in clbits)] += 1
+    if job.readout:
+        value = 1.0 - 2.0 * _parity(clbits, job.readout)
+        stats.parity_total += value
+        stats.parity_total_sq += value * value
+
+
+def _statevector_batch(job: Job, batch: Batch) -> BatchStats:
+    rng = batch_rng(job.seed, batch.index)
+    simulator = StatevectorSimulator(seed=int(rng.integers(2**63)), noise=job.noise)
+    stats = BatchStats(index=batch.index, shots=batch.shots)
+    for _ in range(batch.shots):
+        init = _sample_initial_state(job, rng)
+        result = simulator.run(job.circuit, initial_state=init)
+        _accumulate(stats, result.clbits, job)
+    return stats
+
+
+def _tableau_batch(job: Job, batch: Batch) -> BatchStats:
+    rng = batch_rng(job.seed, batch.index)
+    stats = BatchStats(index=batch.index, shots=batch.shots)
+    for _ in range(batch.shots):
+        simulator = TableauSimulator(job.circuit.num_qubits, seed=rng)
+        clbits = simulator.run(job.circuit)
+        _accumulate(stats, clbits, job)
+    return stats
+
+
+def _pauliframe_batch(job: Job, batch: Batch) -> BatchStats:
+    rng = batch_rng(job.seed, batch.index)
+    simulator = PauliFrameSimulator(
+        job.circuit, job.noise, seed=int(rng.integers(2**63))
+    )
+    counts = simulator.sample_error_distribution(list(job.frame_qubits), batch.shots)
+    return BatchStats(index=batch.index, shots=batch.shots, counts=Counter(counts))
+
+
+def _density_batch(job: Job, batch: Batch) -> BatchStats:
+    if job.ensembles:
+        raise ValueError("exact mode takes a fixed initial state, not ensembles")
+    simulator = DensitySimulator(noise=job.noise)
+    result = simulator.run(job.circuit, initial_state=job.initial_state)
+    probabilities = {
+        "".join(str(b) for b in bits): p
+        for bits, p in result.branch_probabilities().items()
+    }
+    stats = BatchStats(
+        index=batch.index, shots=batch.shots, probabilities=probabilities
+    )
+    if job.readout:
+        mean = 0.0
+        for bits, p in result.branch_probabilities().items():
+            mean += p * (1.0 - 2.0 * _parity(list(bits), job.readout))
+        stats.parity_total = mean
+    return stats

@@ -1,0 +1,86 @@
+"""Batched shot scheduling over a worker pool.
+
+The scheduler splits a job's shot budget into fixed-size batches (the size
+comes from the job spec, not the pool) and fans them across a
+``concurrent.futures`` pool.  Each batch derives its RNG substream from
+``(job.seed, batch.index)`` alone, and results are reduced in batch-index
+order, so the outcome is bit-identical whether the batches run serially, on
+4 threads, or on 16 processes.
+
+``executor`` picks the pool flavour:
+
+* ``"serial"``  — run batches inline (no pool, the legacy direct path);
+* ``"thread"``  — :class:`~concurrent.futures.ThreadPoolExecutor` (default;
+  cheap to spin up, shares the circuit objects);
+* ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor` (true
+  CPU parallelism; jobs and batches are picklable by construction).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+
+from .job import Job
+from .runners import Batch, BatchStats, execute_batch
+
+__all__ = ["Scheduler"]
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+class Scheduler:
+    """Plans a job into batches and executes them on a worker pool."""
+
+    def __init__(self, workers: int = 1, executor: str = "thread"):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}")
+        self.workers = workers
+        self.executor_kind = executor
+        self._pool: Executor | None = None
+
+    # ------------------------------------------------------------------
+    def plan(self, job: Job) -> list[Batch]:
+        """Deterministic batch partition of the job's shot budget."""
+        if job.mode == "exact":
+            return [Batch(index=0, shots=job.shots)]
+        size = job.resolved_batch_size()
+        num_batches = max(1, math.ceil(job.shots / size))
+        batches = []
+        remaining = job.shots
+        for index in range(num_batches):
+            take = min(size, remaining)
+            batches.append(Batch(index=index, shots=take))
+            remaining -= take
+        return batches
+
+    def execute(self, job: Job, backend: str) -> list[BatchStats]:
+        """Run every batch of ``job`` on ``backend``; stats in index order."""
+        batches = self.plan(job)
+        if (
+            self.workers <= 1
+            or self.executor_kind == "serial"
+            or len(batches) <= 1
+            or backend == "density"
+        ):
+            return [execute_batch(job, batch, backend) for batch in batches]
+        pool = self._ensure_pool()
+        futures = [pool.submit(execute_batch, job, batch, backend) for batch in batches]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.executor_kind == "process":
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

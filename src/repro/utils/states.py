@@ -7,13 +7,15 @@ reproducible generators for all of them.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import math
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from .linalg import kron_all
 
 __all__ = [
+    "assemble_initial_state",
     "computational_basis_state",
     "plus_state",
     "ghz_state",
@@ -143,3 +145,40 @@ def noisy_pure_state(
 def product_state(vectors: Sequence[np.ndarray]) -> np.ndarray:
     """Tensor product of statevectors."""
     return kron_all(list(vectors))
+
+
+def assemble_initial_state(
+    num_qubits: int, placements: Mapping[tuple[int, ...], np.ndarray]
+) -> np.ndarray:
+    """Tensor statevectors into a full register, |0> elsewhere.
+
+    Each key is a tuple of *contiguous ascending* global qubit indices; the
+    value is the statevector to load there.
+    """
+    segments: list[tuple[int, np.ndarray]] = []
+    for qubits, vector in placements.items():
+        qubits = tuple(qubits)
+        if list(qubits) != list(range(qubits[0], qubits[0] + len(qubits))):
+            raise ValueError(f"register {qubits} is not contiguous ascending")
+        vector = np.asarray(vector, dtype=complex)
+        if vector.shape != (2 ** len(qubits),):
+            raise ValueError("placement vector has wrong dimension")
+        segments.append((qubits[0], vector))
+    segments.sort()
+    parts: list[np.ndarray] = []
+    cursor = 0
+    zero = np.array([1.0, 0.0], dtype=complex)
+    for start, vector in segments:
+        if start < cursor:
+            raise ValueError("overlapping placements")
+        while cursor < start:
+            parts.append(zero)
+            cursor += 1
+        parts.append(vector)
+        cursor += int(math.log2(len(vector)))
+    while cursor < num_qubits:
+        parts.append(zero)
+        cursor += 1
+    if cursor != num_qubits:
+        raise ValueError("placements exceed the register")
+    return kron_all(parts)
