@@ -1,22 +1,17 @@
 """Section 6 applications: one end-to-end row per application.
 
 Rényi entropy, entanglement spectroscopy, virtual distillation, and parallel
-QSP, each run through the actual SWAP-test pipeline (via a shared execution
-engine) and compared against its exact value.
+QSP, each a declarative ``Experiment`` run through a shared execution
+engine with ``with_exact=True``, so the persisted JSON carries one full
+``ExperimentResult`` envelope per application (specs, recorded seed, exact
+reference, engine statistics).
 """
 
 import numpy as np
 from conftest import FULL_SCALE, emit, make_engine, stopwatch
 
-from repro.apps import (
-    entanglement_spectroscopy,
-    estimate_renyi_entropy,
-    factor_polynomial,
-    parallel_qsp_trace_sampled,
-    renyi_entropy_exact,
-    virtual_expectation,
-    virtual_expectation_exact,
-)
+from repro.api import Experiment
+from repro.apps import factor_polynomial
 from repro.reporting import Table
 from repro.utils import ghz_state, noisy_pure_state, random_density_matrix
 
@@ -32,54 +27,43 @@ def test_applications(once):
     engine = make_engine()
 
     def run():
-        rows = []
         rho = random_density_matrix(1, rng=rng)
-
-        exact_s2 = renyi_entropy_exact(rho, 2)
-        est = estimate_renyi_entropy(
-            rho, 2, shots=SHOTS, seed=1, variant="b", engine=engine
-        )
-        rows.append(("Renyi entropy S2", "1-qubit mixed state", exact_s2, est.entropy))
-
-        spec = entanglement_spectroscopy(
-            ghz_state(2), [0], 2, shots=2 * SHOTS, seed=2, variant="b", engine=engine
-        )
-        rows.append(
-            ("Entanglement spectroscopy", "GHZ_2 half", 0.5, float(spec.eigenvalues[0]))
-        )
-
         _psi, noisy = noisy_pure_state(1, 0.3, rng)
-        exact_v = virtual_expectation_exact(noisy, "Z", 3)
-        est_v = virtual_expectation(
-            noisy, "Z", 3, shots=SHOTS, seed=3, variant="b", engine=engine
-        )
-        rows.append(("Virtual distillation <Z>", "3 copies, 30% depol", exact_v, est_v.value))
-
-        coeffs = np.array([1.0, 0.0, 0.5, 0.0, 0.2])
-        factored = factor_polynomial(coeffs, 2)
-        est_q, exact_q = parallel_qsp_trace_sampled(
-            rho, factored, shots=SHOTS, seed=4, variant="b", engine=engine
-        )
-        rows.append(
-            (
-                "Parallel QSP tr P(rho)",
-                f"deg 4 -> 2 x deg {factored.max_factor_degree}",
-                exact_q,
-                est_q,
-            )
-        )
-        return rows
+        factored = factor_polynomial(np.array([1.0, 0.0, 0.5, 0.0, 0.2]), 2)
+        experiments = [
+            ("Renyi entropy S2", "1-qubit mixed state",
+             Experiment.renyi(rho, 2, shots=SHOTS, seed=1, variant="b")),
+            ("Entanglement spectroscopy", "GHZ_2 half",
+             Experiment.spectroscopy(
+                 ghz_state(2), [0], 2, shots=2 * SHOTS, seed=2, variant="b"
+             )),
+            ("Virtual distillation <Z>", "3 copies, 30% depol",
+             Experiment.virtual(noisy, "Z", 3, shots=SHOTS, seed=3, variant="b")),
+            ("Parallel QSP tr P(rho)",
+             f"deg 4 -> 2 x deg {factored.max_factor_degree}",
+             Experiment.qsp(rho, factored, shots=SHOTS, seed=4, variant="b")),
+        ]
+        return [
+            (name, setting, experiment.run(engine, with_exact=True))
+            for name, setting, experiment in experiments
+        ]
 
     with stopwatch() as elapsed:
         rows = once(run)
-    for name, setting, exact, estimated in rows:
+    for name, setting, result in rows:
         table.add_row(
             application=name,
             setting=setting,
-            exact=f"{exact:.4f}",
-            estimated=f"{estimated:.4f}",
-            abs_error=abs(exact - estimated),
+            exact=f"{result.exact:.4f}",
+            estimated=f"{result.estimate:.4f}",
+            abs_error=result.error(),
         )
-        assert abs(exact - estimated) < 0.25
-    emit("applications", table, wall_time=elapsed(), engine=engine)
+        assert result.error() < 0.25
+    emit(
+        "applications",
+        table,
+        wall_time=elapsed(),
+        engine=engine,
+        results=[result for _, _, result in rows],
+    )
     engine.close()

@@ -3,12 +3,17 @@
 Regenerates <GHZ|rho|GHZ> vs party count r in 4..12 for p2q in
 {0.001, 0.003, 0.005} with the paper's linear fits.  Expected shape:
 near-linear decrease in r, steeper at larger p2q.
+
+Each noise level is one ``Experiment.ghz_fidelity(...).sweep(...)`` over
+the party counts through a shared engine; the persisted JSON carries the
+per-point ``ExperimentResult`` envelopes of every sweep.
 """
 
-from conftest import FULL_SCALE, emit
+from conftest import FULL_SCALE, emit, make_engine, stopwatch
 
-from repro.analysis import ghz_fidelity_sweep
+from repro.api import Experiment
 from repro.reporting import Figure
+from repro.utils import linear_fit
 
 SHOTS = 50_000 if FULL_SCALE else 6_000
 PARTIES = [4, 6, 8, 10, 12]
@@ -16,28 +21,49 @@ PARTIES = [4, 6, 8, 10, 12]
 
 def test_fig9a_ghz_fidelity(once):
     figure = Figure("Figure 9a — GHZ fidelity vs parties", "parties r", "fidelity")
+    engine = make_engine()
 
     def run():
-        return [
-            ghz_fidelity_sweep(p, parties=PARTIES, shots=SHOTS, seed=90 + i)
-            for i, p in enumerate((0.001, 0.003, 0.005))
-        ]
+        sweeps = []
+        for i, p in enumerate((0.001, 0.003, 0.005)):
+            base_seed = 90 + i
+            sweep = Experiment.ghz_fidelity(
+                PARTIES[0], p, shots=SHOTS, seed=base_seed
+            ).sweep(
+                over=("num_parties", "seed"),
+                values=[(r, base_seed + r) for r in PARTIES],
+                engine=engine,
+            )
+            sweeps.append((p, sweep))
+        return sweeps
 
-    sweeps = once(run)
-    for sweep in sweeps:
-        series = figure.new_series(f"p2q = {sweep.p}")
-        for r, f in zip(sweep.parties, sweep.fidelities):
+    with stopwatch() as elapsed:
+        sweeps = once(run)
+    fits = []
+    for p, sweep in sweeps:
+        fidelities = [float(e) for e in sweep.estimates()]
+        fit = linear_fit(PARTIES, fidelities)
+        fits.append((p, fidelities, fit))
+        series = figure.new_series(f"p2q = {p}")
+        for r, f in zip(PARTIES, fidelities):
             series.add(r, f)
         fit_series = figure.new_series(
-            f"fit p2q={sweep.p}: {sweep.fit.slope:.4f} r + {sweep.fit.intercept:.4f}"
+            f"fit p2q={p}: {fit.slope:.4f} r + {fit.intercept:.4f}"
         )
-        for r in sweep.parties:
-            fit_series.add(r, sweep.fit.predict(r))
-    emit("fig9a_ghz_fidelity", figure)
+        for r in PARTIES:
+            fit_series.add(r, fit.predict(r))
+    emit(
+        "fig9a_ghz_fidelity",
+        figure,
+        wall_time=elapsed(),
+        engine=engine,
+        results=[point.result for _, sweep in sweeps for point in sweep],
+    )
+    engine.close()
 
     # Shape: decreasing in r, steeper for larger p2q.
-    for sweep in sweeps:
-        assert sweep.fit.slope < 0
-        assert sweep.fidelities[0] > sweep.fidelities[-1]
-    slopes = [s.fit.slope for s in sweeps]
+    for _, fidelities, fit in fits:
+        assert fit.slope < 0
+        assert fidelities[0] > fidelities[-1]
+    slopes = [fit.slope for _, _, fit in fits]
     assert slopes[2] < slopes[0]  # p=0.005 drops faster than p=0.001

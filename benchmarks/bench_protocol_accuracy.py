@@ -5,16 +5,16 @@ fully distributed COMPAS protocol — on random density-matrix workloads and
 reports |estimate - exact| in units of the standard error.  A correct,
 unbiased protocol keeps every row within a few sigma.
 
-Shot execution flows through a shared :class:`repro.engine.Engine` (batched
-scheduling + result cache); the emitted JSON records the wall time and the
-engine's backend/cache statistics.
+Each workload is a declarative ``Experiment.swap_test`` spec run with
+``with_exact=True``, so the persisted JSON carries the full
+``ExperimentResult`` envelope per row (specs, recorded seed, exact
+reference, engine/cache statistics) alongside the printed table.
 """
 
 import numpy as np
 from conftest import FULL_SCALE, emit, make_engine, stopwatch
 
-from repro.core import multiparty_swap_test
-from repro.core.cyclic_shift import multivariate_trace
+from repro.api import Experiment
 from repro.reporting import Table
 from repro.utils import random_density_matrix
 
@@ -25,47 +25,48 @@ SHOTS_DIST = 1200 if FULL_SCALE else 260
 def test_protocol_accuracy(once):
     table = Table(
         "Protocol accuracy — estimate vs exact multivariate trace",
-        ["backend", "k", "n", "exact", "estimate", "stderr_re", "sigmas"],
+        ["backend", "k", "n", "exact", "estimate", "stderr", "sigmas"],
     )
     rng = np.random.default_rng(2026)
     engine = make_engine()
 
     def run():
-        rows = []
+        results = []
         for k, n in ((2, 1), (3, 1), (4, 1), (2, 2)):
             states = [random_density_matrix(n, rng=rng) for _ in range(k)]
-            exact = multivariate_trace(states)
-            result = multiparty_swap_test(
-                states, shots=SHOTS_MONO, variant="d", seed=k * 17 + n, engine=engine
+            experiment = Experiment.swap_test(
+                states, shots=SHOTS_MONO, variant="d", seed=k * 17 + n
             )
-            rows.append(("monolithic-d", k, n, exact, result))
+            results.append(experiment.run(engine, with_exact=True))
         for k in (2, 3):
             states = [random_density_matrix(1, rng=rng) for _ in range(k)]
-            exact = multivariate_trace(states)
-            result = multiparty_swap_test(
+            experiment = Experiment.swap_test(
                 states,
                 shots=SHOTS_DIST,
                 seed=k * 31,
                 backend="compas",
                 design="teledata",
-                engine=engine,
             )
-            rows.append(("compas-teledata", k, 1, exact, result))
-        return rows
+            results.append(experiment.run(engine, with_exact=True))
+        return results
 
     with stopwatch() as elapsed:
-        rows = once(run)
-    for backend, k, n, exact, result in rows:
-        sigma = abs(result.estimate.real - exact.real) / max(result.stderr_re, 1e-9)
+        results = once(run)
+    for result in results:
+        backend = result.specs["protocol"]["backend"]
+        label = result.extra["variant_label"] if backend == "compas" else "monolithic-d"
+        sigma = abs(result.real - result.exact.real) / max(result.stderr, 1e-9)
         table.add_row(
-            backend=backend,
-            k=k,
-            n=n,
-            exact=f"{exact:.4f}",
+            backend=label if backend == "compas" else "monolithic-d",
+            k=result.extra["k"],
+            n=result.extra["n"],
+            exact=f"{result.exact:.4f}",
             estimate=f"{result.estimate:.4f}",
-            stderr_re=result.stderr_re,
+            stderr=result.stderr,
             sigmas=f"{sigma:.2f}",
         )
-        assert result.within(exact, sigmas=5.5)
-    emit("protocol_accuracy", table, wall_time=elapsed(), engine=engine)
+        assert result.raw.within(result.exact, sigmas=5.5)  # both real and imag
+    emit(
+        "protocol_accuracy", table, wall_time=elapsed(), engine=engine, results=results
+    )
     engine.close()

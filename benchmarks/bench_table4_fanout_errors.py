@@ -5,11 +5,15 @@ top-4 Pauli errors each.  Expected shape (paper): the leading error is
 always Z on the control, the following errors are X blocks on the targets,
 and probabilities grow with p and the target count.  Paper anchor:
 ZIIII at p=0.003, 4 targets = 1.01%.
+
+The grid is one ``Experiment.fanout_errors(...).sweep(...)`` (zipped axes
+keep the per-cell seeds); the persisted JSON carries every cell's
+``ExperimentResult`` envelope.
 """
 
 from conftest import FULL_SCALE, emit, make_engine, stopwatch
 
-from repro.analysis import fanout_error_distribution
+from repro.api import Experiment
 from repro.reporting import Table
 
 SHOTS = 100_000 if FULL_SCALE else 20_000
@@ -20,15 +24,15 @@ def test_table4_fanout_errors(once):
     engine = make_engine()
 
     def run_grid():
-        return [
-            fanout_error_distribution(
-                p, t, shots=SHOTS, seed=hash((p, t)) % 2**31, engine=engine
-            )
-            for p, t in grid
-        ]
+        return Experiment.fanout_errors(grid[0][1], grid[0][0], shots=SHOTS).sweep(
+            over=("p", "num_targets", "seed"),
+            values=[(p, t, hash((p, t)) % 2**31) for p, t in grid],
+            engine=engine,
+        )
 
     with stopwatch() as elapsed:
-        reports = once(run_grid)
+        sweep = once(run_grid)
+    reports = [point.result.raw for point in sweep]
     table = Table(
         f"Table 4 — top Fanout errors ({SHOTS} shots)",
         ["p_phy", "targets", "1st", "2nd", "3rd", "4th"],
@@ -41,7 +45,9 @@ def test_table4_fanout_errors(once):
             p_phy=report.p, targets=report.num_targets,
             **{"1st": cells[0], "2nd": cells[1], "3rd": cells[2], "4th": cells[3]},
         )
-    emit("table4_fanout_errors", table, wall_time=elapsed(), engine=engine)
+    emit(
+        "table4_fanout_errors", table, wall_time=elapsed(), engine=engine, results=sweep
+    )
     engine.close()
 
     # Shape assertions from the paper.

@@ -44,13 +44,17 @@ def make_engine(cache=True):
     return Engine(workers=WORKERS, executor=executor, cache=cache)
 
 
-def emit(name: str, payload, wall_time: float | None = None, engine=None) -> None:
+def emit(name: str, payload, wall_time: float | None = None, engine=None, results=None) -> None:
     """Print a result object and persist its JSON dump.
 
     ``wall_time`` (seconds) and ``engine`` (a :class:`repro.engine.Engine`,
     whose cumulative statistics — jobs, shots, backend mix, cache hit/miss
     counters — are snapshotted) are recorded under a ``meta`` key in the
-    persisted payload.
+    persisted payload.  ``results`` is a sequence of
+    :class:`repro.api.ExperimentResult` envelopes (or a
+    :class:`repro.api.SweepResult`): their ``to_dict()`` output is
+    persisted verbatim under ``experiment_results`` so every benchmark
+    point stays replayable (specs, recorded seeds, provenance hashes).
     """
     OUT_DIR.mkdir(exist_ok=True)
     text = payload.to_text()
@@ -64,6 +68,10 @@ def emit(name: str, payload, wall_time: float | None = None, engine=None) -> Non
     if wall_time is not None:
         print(f"wall time: {wall_time:.2f}s")
     document["meta"] = meta
+    if results is not None:
+        if hasattr(results, "results"):  # a SweepResult
+            results = results.results()
+        document["experiment_results"] = [r.to_dict() for r in results]
     (OUT_DIR / f"{name}.json").write_text(json.dumps(document))
 
 

@@ -1,9 +1,10 @@
 """Entanglement spectroscopy of a partially entangled pair (Sec 6.2).
 
 Builds the state cos(theta)|00> + sin(theta)|11>, whose half-chain
-entanglement spectrum is {cos^2, sin^2}, measures tr(rho_A^m) with the
-SWAP test for m = 2, and recovers the spectrum through the Newton-Girard
-identity — the Johri-Steiger-Troyer protocol [30] on COMPAS circuits.
+entanglement spectrum is {cos^2, sin^2}, measures tr(rho_A^m) with
+``Experiment.spectroscopy``, and recovers the spectrum through the
+Newton-Girard identity — the Johri-Steiger-Troyer protocol [30] on COMPAS
+circuits.
 
 Run:  python examples/entanglement_spectroscopy.py
 """
@@ -12,7 +13,7 @@ import math
 
 import numpy as np
 
-from repro.apps import entanglement_spectroscopy
+from repro import Experiment
 
 
 def partially_entangled(theta: float) -> np.ndarray:
@@ -28,14 +29,15 @@ def main() -> None:
     for theta in (0.2, math.pi / 6, math.pi / 4):
         psi = partially_entangled(theta)
         exact = sorted([math.cos(theta) ** 2, math.sin(theta) ** 2], reverse=True)
-        result = entanglement_spectroscopy(
+        result = Experiment.spectroscopy(
             psi, keep=[0], num_qubits=2, max_order=2,
             shots=20000, seed=int(theta * 100), variant="d",
-        )
-        recovered = [f"{v:.3f}" for v in result.eigenvalues]
+        ).run()
+        spectrum = result.raw
+        recovered = [f"{v:.3f}" for v in spectrum.eigenvalues]
         print(
             f"{theta:>8.3f} {str([round(e, 3) for e in exact]):>18} "
-            f"{str(recovered):>22} {result.gap():>8.3f}"
+            f"{str(recovered):>22} {spectrum.gap():>8.3f}"
         )
     print("\ntheta = pi/4 is maximally entangled: a flat {0.5, 0.5} spectrum")
     print("(the degenerate point where shot noise is amplified the most).")

@@ -2,14 +2,16 @@
 
 Splits a degree-4 polynomial into two degree-2 factors (the O(d/k) depth
 reduction of [42]), applies each factor to its own copy of rho, and
-assembles tr(P(rho)) with the multi-party SWAP test.
+assembles tr(P(rho)) with one ``Experiment.qsp`` run — the multi-party
+SWAP test recombining the factors.
 
 Run:  python examples/parallel_qsp.py
 """
 
 import numpy as np
 
-from repro.apps import factor_polynomial, parallel_qsp_trace_exact, parallel_qsp_trace_sampled
+from repro import Experiment
+from repro.apps import factor_polynomial, parallel_qsp_trace_exact
 from repro.utils import random_density_matrix
 
 
@@ -32,11 +34,8 @@ def main() -> None:
             f"factored trace = {exact:.4f}"
         )
 
-    factored = factor_polynomial(coefficients, 2)
-    estimate, exact = parallel_qsp_trace_sampled(
-        rho, factored, shots=20000, seed=3, variant="d"
-    )
-    print(f"\nSWAP-test assembly (k=2):      = {estimate:.4f}  (exact {exact:.4f})")
+    result = Experiment.qsp(rho, coefficients, k=2, shots=20000, seed=3, variant="d").run()
+    print(f"\nSWAP-test assembly (k=2):      = {result.estimate:.4f}  (exact {result.exact:.4f})")
     print("the multi-party SWAP test recombines the two half-degree factors,")
     print("halving the QSP circuit depth exactly as Sec 6.4 describes.")
 

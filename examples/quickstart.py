@@ -1,53 +1,69 @@
 """Quickstart: estimate a multivariate trace with the multi-party SWAP test.
 
-Builds three random single-qubit mixed states, runs the constant-depth
-COMPAS-style circuit (Fig 2d) through the execution engine (worker pool +
-result cache), and compares the estimate against the exact trace
-tr(rho_1 rho_2 rho_3).  Then repeats the experiment on the fully
-distributed protocol, printing its Bell-pair ledger and locality audit.
+Declares the workload once as an ``Experiment`` spec, runs it through the
+execution engine (worker pool + result cache), compares against the exact
+trace tr(rho_1 rho_2 rho_3), sweeps the shot budget, and repeats the
+experiment on the fully distributed protocol, printing its Bell-pair
+ledger and locality audit.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import Engine, multiparty_swap_test, random_density_matrix
+from repro import Engine, Experiment, random_density_matrix
 from repro.core import build_compas
-from repro.core.cyclic_shift import multivariate_trace
 
 
 def main() -> None:
     rng = np.random.default_rng(7)
     states = [random_density_matrix(1, rng=rng) for _ in range(3)]
-    exact = multivariate_trace(states)
-    print(f"exact tr(rho1 rho2 rho3) = {exact:.4f}")
+
+    # One declarative spec: what to run (protocol, noise, network) plus how
+    # (shots, seed).  Validated and content-hashed at construction.
+    experiment = Experiment.swap_test(states, shots=4000, variant="d", seed=1)
+    print(f"experiment hash          = {experiment.content_hash()[:16]}...")
 
     # All shot execution flows through the engine: shots are split into
     # batches across a worker pool and results are cached by job hash.
     with Engine(workers=4, cache=True) as engine:
-        # Monolithic constant-depth circuit (the paper's Fig 2d variant).
-        result = multiparty_swap_test(states, shots=4000, variant="d", seed=1, engine=engine)
+        # Monolithic constant-depth circuit (the paper's Fig 2d variant),
+        # with the exact reference computed alongside.
+        result = experiment.run(engine, with_exact=True)
+        print(f"exact tr(rho1 rho2 rho3) = {result.exact:.4f}")
         print(
             f"monolithic estimate      = {result.estimate:.4f}"
-            f"  (stderr {result.stderr_re:.4f})"
+            f"  (stderr {result.stderr:.4f}, seed {result.seed})"
         )
 
         # Re-running the identical experiment is served from the cache.
-        repeat = multiparty_swap_test(states, shots=4000, variant="d", seed=1, engine=engine)
+        repeat = experiment.run(engine)
         print(
             f"repeat (cache hit)       = {repeat.estimate:.4f}"
-            f"  from_cache={repeat.resources['engine']['from_cache']}"
+            f"  from_cache={repeat.extra['resources']['engine']['from_cache']}"
         )
 
+        # Sweeps derive one experiment per grid point through the same
+        # engine — bit-identical for any worker count.
+        sweep = experiment.sweep(over="shots", values=[1000, 2000, 4000], engine=engine)
+        for point in sweep:
+            print(
+                f"  sweep shots={point.params['shots']:>5}: "
+                f"{point.result.estimate:.4f}"
+            )
+
         # Fully distributed COMPAS protocol, one QPU per state.
-        result = multiparty_swap_test(
-            states, shots=2000, seed=2, backend="compas", design="teledata", engine=engine
-        )
+        distributed = experiment.derive(backend="compas", shots=2000, seed=2)
+        result = distributed.run(engine)
         print(
             f"distributed estimate     = {result.estimate:.4f}"
-            f"  (stderr {result.stderr_re:.4f})"
+            f"  (stderr {result.stderr:.4f})"
         )
         print("engine stats:", engine.stats_dict())
+
+    # Every result envelope serializes losslessly (benchmarks persist these).
+    payload = result.to_dict()
+    print("envelope keys:", sorted(payload))
 
     build = build_compas(3, 1, design="teledata", basis="x")
     report = build.locality()

@@ -1,16 +1,17 @@
 """Rényi entropy of a thermal state, via the distributed SWAP test (Sec 6.1).
 
 Prepares a Gibbs state of a random two-level Hamiltonian at several
-temperatures and measures its order-2 and order-3 Rényi entropies with the
-multi-party SWAP test — the workload the paper's introduction motivates for
-studying entanglement in many-body systems [23, 27, 57].
+temperatures and measures its order-2 and order-3 Rényi entropies with
+``Experiment.renyi`` — the workload the paper's introduction motivates for
+studying entanglement in many-body systems [23, 27, 57].  Each run carries
+its exact reference in the same result envelope.
 
 Run:  python examples/renyi_entropy.py
 """
 
 import numpy as np
 
-from repro.apps import estimate_renyi_entropy, renyi_entropy_exact
+from repro import Experiment
 from repro.utils import random_hermitian, thermal_state
 
 
@@ -21,13 +22,15 @@ def main() -> None:
     print(f"{'beta':>6} {'S2 exact':>10} {'S2 est':>10} {'S3 exact':>10} {'S3 est':>10}")
     for beta in (0.2, 1.0, 5.0):
         rho = thermal_state(hamiltonian, beta)
-        s2_exact = renyi_entropy_exact(rho, 2)
-        s3_exact = renyi_entropy_exact(rho, 3)
-        s2 = estimate_renyi_entropy(rho, 2, shots=6000, seed=int(beta * 10), variant="d")
-        s3 = estimate_renyi_entropy(rho, 3, shots=6000, seed=int(beta * 10) + 1, variant="b")
+        s2 = Experiment.renyi(
+            rho, 2, shots=6000, seed=int(beta * 10), variant="d"
+        ).run(with_exact=True)
+        s3 = Experiment.renyi(
+            rho, 3, shots=6000, seed=int(beta * 10) + 1, variant="b"
+        ).run(with_exact=True)
         print(
-            f"{beta:>6.1f} {s2_exact:>10.4f} {s2.entropy:>10.4f} "
-            f"{s3_exact:>10.4f} {s3.entropy:>10.4f}"
+            f"{beta:>6.1f} {s2.exact:>10.4f} {s2.estimate:>10.4f} "
+            f"{s3.exact:>10.4f} {s3.estimate:>10.4f}"
         )
     print("\nhotter states (small beta) carry more entropy; both orders agree")
     print("with the exact values within shot noise.")

@@ -2,16 +2,16 @@
 
 A random pure target state is corrupted by a 30% depolarizing channel.
 Estimating <Z> directly on the noisy state is biased; estimating it in the
-multiplicative product state chi = rho^m / tr(rho^m) — two SWAP tests per
-point, numerator with a GHZ-controlled Z insertion — suppresses the bias
-exponentially in the copy count m [26].
+multiplicative product state chi = rho^m / tr(rho^m) — one
+``Experiment.virtual`` per point, numerator with a GHZ-controlled Z
+insertion — suppresses the bias exponentially in the copy count m [26].
 
 Run:  python examples/virtual_distillation.py
 """
 
 import numpy as np
 
-from repro.apps import virtual_expectation, virtual_expectation_exact
+from repro import Experiment
 from repro.utils import noisy_pure_state
 
 
@@ -26,13 +26,12 @@ def main() -> None:
     print()
     print(f"{'copies m':>9} {'exact <Z>_chi':>14} {'estimated':>10} {'bias':>8}")
     for copies in (2, 3, 4):
-        exact = virtual_expectation_exact(noisy, "Z", copies)
-        result = virtual_expectation(
+        result = Experiment.virtual(
             noisy, "Z", copies, shots=12000, seed=copies, variant="d"
-        )
+        ).run(with_exact=True)
         print(
-            f"{copies:>9} {exact:>14.4f} {result.value:>10.4f} "
-            f"{abs(exact - ideal):>8.4f}"
+            f"{copies:>9} {result.exact:>14.4f} {result.estimate:>10.4f} "
+            f"{abs(result.exact - ideal):>8.4f}"
         )
     print("\nthe bias of the virtually distilled expectation shrinks with m,")
     print("without ever preparing the purified state.")

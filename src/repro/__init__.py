@@ -5,20 +5,29 @@ Goldstein-Gelb et al., including every substrate the paper relies on:
 circuit IR, statevector / density-matrix / stabilizer simulators, a
 distributed QPU network model with Bell-pair accounting, teleoperation
 primitives, the constant-depth Fanout, the COMPAS protocol itself, the
-paper's resource and noise analyses, the Section 6 applications, and a
+paper's resource and noise analyses, the Section 6 applications, a
 parallel execution engine (batched shot scheduling, backend auto-selection,
-result caching) through which all shot execution flows.
+result caching), and a declarative experiment API that fronts all of it.
 
 Quickstart::
 
     import numpy as np
-    from repro import Engine, multiparty_swap_test, random_density_matrix
+    from repro import Engine, Experiment, random_density_matrix
 
     states = [random_density_matrix(1) for _ in range(3)]
     with Engine(workers=4, cache=True) as engine:
-        result = multiparty_swap_test(states, shots=20000, seed=7, engine=engine)
-    exact = np.trace(states[0] @ states[1] @ states[2])
-    print(result.estimate, exact)
+        result = Experiment.swap_test(states, shots=20_000, seed=7).run(
+            engine, with_exact=True
+        )
+    print(result.estimate, result.exact, result.stderr)
+
+Every workload is an ``Experiment`` constructor — ``swap_test``,
+``trace_sum``, ``renyi``, ``spectroscopy``, ``virtual``, ``qsp``,
+``ghz_fidelity``, ``fanout_errors``, ``overall_fidelity`` — with ``run``,
+``run_exact``, and grid ``sweep`` methods all returning one
+``ExperimentResult`` envelope.  The per-function entry points
+(``multiparty_swap_test``, ``estimate_renyi_entropy``, ...) remain as
+deprecated wrappers.
 """
 
 from .circuits import Circuit, Condition, Instruction
@@ -39,7 +48,34 @@ from .utils import (
     thermal_state,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Attributes resolved lazily to avoid circular imports at package init
+#: (repro.api imports repro.core, which imports repro.sim / repro.engine).
+_LAZY_EXPORTS = {
+    # Declarative API.
+    "Experiment": ("repro.api", "Experiment"),
+    "ExperimentResult": ("repro.api", "ExperimentResult"),
+    "ProtocolSpec": ("repro.api", "ProtocolSpec"),
+    "NoiseSpec": ("repro.api", "NoiseSpec"),
+    "NetworkSpec": ("repro.api", "NetworkSpec"),
+    "RunOptions": ("repro.api", "RunOptions"),
+    "SweepResult": ("repro.api", "SweepResult"),
+    # Legacy protocol entry points (deprecated wrappers).
+    "multiparty_swap_test": ("repro.core.estimator", "multiparty_swap_test"),
+    "MultivariateTraceResult": ("repro.core.estimator", "MultivariateTraceResult"),
+    "estimate_trace_sum": ("repro.core.trace_sum", "estimate_trace_sum"),
+    # Legacy Section-6 application entry points (deprecated wrappers).
+    "estimate_renyi_entropy": ("repro.apps.renyi", "estimate_renyi_entropy"),
+    "entanglement_spectroscopy": (
+        "repro.apps.spectroscopy",
+        "entanglement_spectroscopy",
+    ),
+    "virtual_expectation": ("repro.apps.virtual", "virtual_expectation"),
+    "parallel_qsp_trace_sampled": ("repro.apps.qsp", "parallel_qsp_trace_sampled"),
+    # Analysis sweep entry point (Experiment-backed).
+    "ghz_fidelity_sweep": ("repro.analysis.ghz_fidelity", "ghz_fidelity_sweep"),
+}
 
 __all__ = [
     "Circuit",
@@ -60,20 +96,20 @@ __all__ = [
     "random_pure_state",
     "state_fidelity",
     "thermal_state",
-    "multiparty_swap_test",
-    "MultivariateTraceResult",
     "__version__",
+    *_LAZY_EXPORTS,
 ]
 
 
 def __getattr__(name: str):
-    # Late imports avoid a circular dependency: repro.core imports repro.sim.
-    if name == "multiparty_swap_test":
-        from .core.estimator import multiparty_swap_test
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
 
-        return multiparty_swap_test
-    if name == "MultivariateTraceResult":
-        from .core.estimator import MultivariateTraceResult
+    return getattr(importlib.import_module(module_name), attribute)
 
-        return MultivariateTraceResult
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

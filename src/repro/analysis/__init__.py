@@ -11,12 +11,16 @@ from .fanout_errors import (
     FanoutErrorReport,
     build_fanout_circuit,
     fanout_error_distribution,
+    sample_fanout_error_counts,
 )
 from .ghz_fidelity import (
+    GhzSweepResult,
     ghz_error_commutes,
     ghz_fidelity_density,
+    ghz_fidelity_density_model,
     ghz_fidelity_frames,
     ghz_fidelity_sweep,
+    sample_ghz_fidelity_frames,
 )
 from .network import (
     DISTILLATION_CODES,
@@ -32,7 +36,12 @@ from .network import (
     teleport_fidelity_floor,
     total_fidelity_bound,
 )
-from .overall import OverallFidelityPoint, overall_fidelity_curve, overall_fidelity_estimate
+from .overall import (
+    OverallFidelityPoint,
+    compose_overall_fidelity,
+    overall_fidelity_curve,
+    overall_fidelity_estimate,
+)
 
 __all__ = [
     "BlackboxCircuit",
@@ -45,10 +54,14 @@ __all__ = [
     "FanoutErrorReport",
     "build_fanout_circuit",
     "fanout_error_distribution",
+    "sample_fanout_error_counts",
+    "GhzSweepResult",
     "ghz_error_commutes",
     "ghz_fidelity_density",
+    "ghz_fidelity_density_model",
     "ghz_fidelity_frames",
     "ghz_fidelity_sweep",
+    "sample_ghz_fidelity_frames",
     "DISTILLATION_CODES",
     "QECCode",
     "bell_pair_depolarized",
@@ -62,6 +75,7 @@ __all__ = [
     "teleport_fidelity_floor",
     "total_fidelity_bound",
     "OverallFidelityPoint",
+    "compose_overall_fidelity",
     "overall_fidelity_curve",
     "overall_fidelity_estimate",
 ]

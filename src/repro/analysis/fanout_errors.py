@@ -26,7 +26,12 @@ from ..network.program import DistributedProgram
 from ..sim.noisemodel import NoiseModel
 from ..sim.pauliframe import PauliFrameSimulator
 
-__all__ = ["FanoutErrorReport", "build_fanout_circuit", "fanout_error_distribution"]
+__all__ = [
+    "FanoutErrorReport",
+    "build_fanout_circuit",
+    "sample_fanout_error_counts",
+    "fanout_error_distribution",
+]
 
 
 @dataclass
@@ -38,6 +43,9 @@ class FanoutErrorReport:
     shots: int
     counts: Counter
     """Bare Pauli labels over (control + targets), including identity."""
+
+    seed: int | None = None
+    """The recorded seed of the sampling run."""
 
     def error_probability(self) -> float:
         """Probability of any non-identity error."""
@@ -66,31 +74,62 @@ def build_fanout_circuit(num_targets: int):
     return program.build(name=f"fanout_{num_targets}"), [control] + targets
 
 
+def sample_fanout_error_counts(
+    num_targets: int,
+    noise: NoiseModel | None,
+    *,
+    shots: int,
+    seed: int | None,
+    engine: Engine,
+    batch_size: int | None = None,
+) -> Counter:
+    """Engine-path error tally behind ``Experiment.fanout_errors``.
+
+    The sampling runs as one frames-mode job, batched across the engine's
+    workers and served from its cache on repeats.  A noiseless model
+    short-circuits: every shot carries the identity error.
+    """
+    if noise is None or noise.is_noiseless:
+        return Counter({"I" * (num_targets + 1): shots})
+    circuit, data = build_fanout_circuit(num_targets)
+    job = Job(
+        circuit=circuit,
+        shots=shots,
+        seed=int(np.random.default_rng(seed).integers(2**63)),
+        noise=noise,
+        frame_qubits=tuple(data),
+        mode="frames",
+        batch_size=batch_size,
+    )
+    return Counter(engine.run(job).counts)
+
+
 def fanout_error_distribution(
     p: float,
     num_targets: int,
+    *,
     shots: int = 100_000,
     seed: int | None = None,
     engine: Engine | None = None,
 ) -> FanoutErrorReport:
     """Sample the effective Pauli error distribution of the noisy Fanout.
 
-    With an ``engine``, the sampling runs as a frames-mode job (batched
-    across the engine's workers and served from its cache on repeats).
+    With an ``engine`` (or through ``Experiment.fanout_errors``, which
+    this function now fronts), the sampling runs as a frames-mode job;
+    without one it falls back to the direct Pauli-frame loop.
     """
+    if engine is not None:
+        from ..api import Experiment
+
+        return (
+            Experiment.fanout_errors(num_targets, p, shots=shots, seed=seed)
+            .run(engine=engine)
+            .raw
+        )
     circuit, data = build_fanout_circuit(num_targets)
     noise = NoiseModel.from_base(p)
-    if engine is not None:
-        job = Job(
-            circuit=circuit,
-            shots=shots,
-            seed=int(np.random.default_rng(seed).integers(2**63)),
-            noise=noise,
-            frame_qubits=tuple(data),
-            mode="frames",
-        )
-        counts = Counter(engine.run(job).counts)
-    else:
-        simulator = PauliFrameSimulator(circuit, noise, seed=seed)
-        counts = simulator.sample_error_distribution(data, shots)
-    return FanoutErrorReport(p=p, num_targets=num_targets, shots=shots, counts=counts)
+    simulator = PauliFrameSimulator(circuit, noise, seed=seed)
+    counts = simulator.sample_error_distribution(data, shots)
+    return FanoutErrorReport(
+        p=p, num_targets=num_targets, shots=shots, counts=counts, seed=seed
+    )

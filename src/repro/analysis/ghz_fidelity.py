@@ -36,8 +36,11 @@ from ..utils.states import ghz_state
 __all__ = [
     "build_distributed_ghz_circuit",
     "ghz_error_commutes",
+    "sample_ghz_fidelity_frames",
     "ghz_fidelity_frames",
     "ghz_fidelity_density",
+    "ghz_fidelity_density_model",
+    "GhzSweepResult",
     "ghz_fidelity_sweep",
 ]
 
@@ -63,9 +66,47 @@ def ghz_error_commutes(error: Pauli) -> bool:
     return uniform_x and even_z
 
 
+def sample_ghz_fidelity_frames(
+    num_parties: int,
+    noise: NoiseModel | None,
+    *,
+    shots: int,
+    seed: int | None,
+    engine: Engine,
+    batch_size: int | None = None,
+) -> tuple[float, int]:
+    """Engine-path frame sampling: ``(fidelity, good_shot_count)``.
+
+    This is the implementation behind ``Experiment.ghz_fidelity``: the
+    error distribution runs as one batched frames-mode job and the
+    commutation predicate is applied to the tally.  A noiseless model
+    short-circuits (the Clifford prep is then exact, fidelity 1).
+    """
+    if noise is None or noise.is_noiseless:
+        return 1.0, shots
+    circuit, members = build_distributed_ghz_circuit(num_parties)
+    job = Job(
+        circuit=circuit,
+        shots=shots,
+        seed=int(np.random.default_rng(seed).integers(2**63)),
+        noise=noise,
+        frame_qubits=tuple(members),
+        mode="frames",
+        batch_size=batch_size,
+    )
+    counts = engine.run(job).counts
+    good = sum(
+        count
+        for label, count in counts.items()
+        if ghz_error_commutes(Pauli.from_label(label))
+    )
+    return good / shots, good
+
+
 def ghz_fidelity_frames(
     num_parties: int,
     p: float,
+    *,
     shots: int = 20_000,
     seed: int | None = None,
     engine: Engine | None = None,
@@ -75,24 +116,13 @@ def ghz_fidelity_frames(
     With an ``engine``, the error distribution is sampled as a batched
     frames-mode job and the commutation predicate is applied to the tally.
     """
-    circuit, members = build_distributed_ghz_circuit(num_parties)
     noise = NoiseModel.from_base(p)
     if engine is not None:
-        job = Job(
-            circuit=circuit,
-            shots=shots,
-            seed=int(np.random.default_rng(seed).integers(2**63)),
-            noise=noise,
-            frame_qubits=tuple(members),
-            mode="frames",
+        fidelity, _ = sample_ghz_fidelity_frames(
+            num_parties, noise, shots=shots, seed=seed, engine=engine
         )
-        counts = engine.run(job).counts
-        good = sum(
-            count
-            for label, count in counts.items()
-            if ghz_error_commutes(Pauli.from_label(label))
-        )
-        return good / shots
+        return fidelity
+    circuit, members = build_distributed_ghz_circuit(num_parties)
     simulator = PauliFrameSimulator(circuit, noise, seed=seed)
     good = 0
     for _ in range(shots):
@@ -102,16 +132,21 @@ def ghz_fidelity_frames(
     return good / shots
 
 
-def ghz_fidelity_density(num_parties: int, p: float) -> float:
-    """Exact <GHZ|rho|GHZ> via density-matrix simulation (small r only)."""
+def ghz_fidelity_density_model(num_parties: int, noise: NoiseModel | None) -> float:
+    """Exact <GHZ|rho|GHZ> under an explicit noise model (small r only)."""
     circuit, members = build_distributed_ghz_circuit(num_parties)
     if circuit.num_qubits > 12:
         raise ValueError("density-matrix path limited to small circuits")
-    simulator = DensitySimulator(noise=NoiseModel.from_base(p))
+    simulator = DensitySimulator(noise=noise or NoiseModel.noiseless())
     rho = simulator.run(circuit).final_density()
     reduced = partial_trace(rho, members, circuit.num_qubits)
     target = ghz_state(num_parties)
     return float(np.real(np.vdot(target, reduced @ target)))
+
+
+def ghz_fidelity_density(num_parties: int, p: float) -> float:
+    """Exact <GHZ|rho|GHZ> via density-matrix simulation (small r only)."""
+    return ghz_fidelity_density_model(num_parties, NoiseModel.from_base(p))
 
 
 @dataclass
@@ -122,21 +157,41 @@ class GhzSweepResult:
     parties: list[int]
     fidelities: list[float]
     fit: LinearFit
+    sweep: object | None = None
+    """The underlying :class:`repro.api.SweepResult` (envelopes per point)."""
 
 
 def ghz_fidelity_sweep(
     p: float,
+    *,
     parties: list[int] | None = None,
     shots: int = 20_000,
     seed: int | None = None,
     engine: Engine | None = None,
 ) -> GhzSweepResult:
-    """Sweep the party count at fixed noise, with linear fit (Fig 9a)."""
-    parties = parties or [4, 6, 8, 10, 12]
-    fidelities = [
-        ghz_fidelity_frames(
-            r, p, shots=shots, seed=None if seed is None else seed + r, engine=engine
-        )
-        for r in parties
-    ]
-    return GhzSweepResult(p, list(parties), fidelities, linear_fit(parties, fidelities))
+    """Sweep the party count at fixed noise, with linear fit (Fig 9a).
+
+    Runs ``Experiment.ghz_fidelity(...).sweep(...)`` over the party
+    counts (per-point seeds ``seed + r``, as before the API redesign) and
+    overlays the paper's linear fit.  Note: every point now samples
+    through the engine's batched frames path, so fidelities at a fixed
+    seed differ from the pre-1.1 direct-loop numbers (statistically
+    equivalent estimator, different RNG stream).
+    """
+    from ..api import Experiment
+
+    parties = list(parties or [4, 6, 8, 10, 12])
+    base_seed = seed
+    sweep = Experiment.ghz_fidelity(
+        parties[0], p, shots=shots, seed=0 if base_seed is None else base_seed
+    ).sweep(
+        over=("num_parties", "seed"),
+        values=[
+            (r, None if base_seed is None else base_seed + r) for r in parties
+        ],
+        engine=engine,
+    )
+    fidelities = [float(point.result.estimate) for point in sweep]
+    return GhzSweepResult(
+        p, parties, fidelities, linear_fit(parties, fidelities), sweep=sweep
+    )

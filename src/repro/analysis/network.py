@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from collections.abc import Sequence
 
 import numpy as np
 

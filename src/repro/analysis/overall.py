@@ -19,7 +19,12 @@ from .blackbox import PrimitiveErrorModel
 from .cswap_fidelity import cswap_classical_fidelity
 from .ghz_fidelity import ghz_fidelity_frames
 
-__all__ = ["OverallFidelityPoint", "overall_fidelity_estimate", "overall_fidelity_curve"]
+__all__ = [
+    "OverallFidelityPoint",
+    "compose_overall_fidelity",
+    "overall_fidelity_estimate",
+    "overall_fidelity_curve",
+]
 
 
 @dataclass
@@ -35,11 +40,12 @@ class OverallFidelityPoint:
     fidelity: float
 
 
-def overall_fidelity_estimate(
+def compose_overall_fidelity(
     design: str,
     n: int,
     k: int,
     p: float,
+    *,
     ghz_shots: int = 10_000,
     cswap_shots_per_input: int = 20,
     cswap_max_inputs: int = 60,
@@ -47,10 +53,8 @@ def overall_fidelity_estimate(
     model: PrimitiveErrorModel | None = None,
     cswap_error: float | None = None,
 ) -> OverallFidelityPoint:
-    """Compose the Sec 5.4 lower bound for one (design, n, k, p) setting.
-
-    ``cswap_error`` may be supplied to reuse a previously measured value
-    across different k (the bound depends on n and p only through it).
+    """The composition itself — the implementation behind
+    ``Experiment.overall_fidelity`` and :func:`overall_fidelity_estimate`.
     """
     ghz_parties = (k + 1) // 2
     ghz_fidelity = ghz_fidelity_frames(ghz_parties, p, shots=ghz_shots, seed=seed)
@@ -75,6 +79,60 @@ def overall_fidelity_estimate(
         ghz_error=ghz_error,
         cswap_error=cswap_error,
         fidelity=max(fidelity, 0.0),
+    )
+
+
+def overall_fidelity_estimate(
+    design: str,
+    n: int,
+    k: int,
+    p: float,
+    *,
+    ghz_shots: int = 10_000,
+    cswap_shots_per_input: int = 20,
+    cswap_max_inputs: int = 60,
+    seed: int | None = None,
+    model: PrimitiveErrorModel | None = None,
+    cswap_error: float | None = None,
+) -> OverallFidelityPoint:
+    """Compose the Sec 5.4 lower bound for one (design, n, k, p) setting.
+
+    ``cswap_error`` may be supplied to reuse a previously measured value
+    across different k (the bound depends on n and p only through it).
+    Without a custom ``model`` this routes through
+    ``Experiment.overall_fidelity`` (same composition, declarative spec);
+    a custom primitive-error model bypasses the spec layer, which cannot
+    hash it.
+    """
+    if model is not None:
+        return compose_overall_fidelity(
+            design,
+            n,
+            k,
+            p,
+            ghz_shots=ghz_shots,
+            cswap_shots_per_input=cswap_shots_per_input,
+            cswap_max_inputs=cswap_max_inputs,
+            seed=seed,
+            model=model,
+            cswap_error=cswap_error,
+        )
+    from ..api import Experiment
+
+    return (
+        Experiment.overall_fidelity(
+            design,
+            n,
+            k,
+            p,
+            ghz_shots=ghz_shots,
+            cswap_shots_per_input=cswap_shots_per_input,
+            cswap_max_inputs=cswap_max_inputs,
+            cswap_error=cswap_error,
+            seed=seed,
+        )
+        .run()
+        .raw
     )
 
 

@@ -1,0 +1,53 @@
+"""Declarative experiment API: typed specs, one result envelope, sweeps.
+
+The public surface of the repository, redesigned around *what* to run
+instead of per-function plumbing:
+
+* :class:`ProtocolSpec` / :class:`NoiseSpec` / :class:`NetworkSpec` /
+  :class:`RunOptions` — frozen, validated, content-hashed specifications;
+* :class:`Experiment` — the facade with one constructor per workload and
+  ``run`` / ``run_exact`` / ``sweep`` methods;
+* :class:`ExperimentResult` — the single JSON-round-trippable envelope
+  every run returns;
+* :class:`SweepResult` — an ordered grid of envelopes, built on the same
+  grid machinery as :meth:`repro.engine.Engine.sweep`.
+
+The legacy per-function entry points (``multiparty_swap_test``,
+``estimate_renyi_entropy``, ...) remain as thin wrappers over this layer
+and emit :class:`DeprecationWarning`.
+"""
+
+from .experiment import KINDS, Experiment
+from .result import API_VERSION, ExperimentResult
+from .specs import (
+    BACKENDS,
+    EXECUTORS,
+    GHZ_MODES,
+    TOPOLOGIES,
+    NetworkSpec,
+    NoiseSpec,
+    ProtocolSpec,
+    RunOptions,
+    fresh_seed,
+    stable_hash,
+)
+from .sweep import ExperimentSweepPoint, SweepResult
+
+__all__ = [
+    "API_VERSION",
+    "BACKENDS",
+    "EXECUTORS",
+    "GHZ_MODES",
+    "KINDS",
+    "TOPOLOGIES",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSweepPoint",
+    "NetworkSpec",
+    "NoiseSpec",
+    "ProtocolSpec",
+    "RunOptions",
+    "SweepResult",
+    "fresh_seed",
+    "stable_hash",
+]

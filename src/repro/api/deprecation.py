@@ -1,0 +1,26 @@
+"""Deprecation plumbing for the legacy per-function entry points.
+
+Every legacy wrapper warns through :func:`warn_legacy`, whose message
+starts with :data:`LEGACY_PREFIX`.  The test suite escalates all other
+``DeprecationWarning``s to errors and exempts exactly this prefix (see
+``filterwarnings`` in ``pyproject.toml``), so new deprecations cannot
+slip in silently while the documented legacy surface keeps working.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["LEGACY_PREFIX", "warn_legacy"]
+
+#: Every legacy-wrapper warning message starts with this exact prefix.
+LEGACY_PREFIX = "repro legacy API:"
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit the standard DeprecationWarning for a legacy entry point."""
+    warnings.warn(
+        f"{LEGACY_PREFIX} {old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,285 @@
+"""Typed, frozen experiment specifications with stable content hashes.
+
+The declarative API describes *what* to run with four immutable spec
+dataclasses:
+
+* :class:`ProtocolSpec` — which SWAP-test circuit family (variant, GHZ
+  preparation mode, monolithic vs distributed backend, CSWAP design,
+  optional GHZ-controlled observable insertion);
+* :class:`NoiseSpec` — the paper's circuit-level noise model, decoupled
+  from the simulator-facing :class:`~repro.sim.noisemodel.NoiseModel`;
+* :class:`NetworkSpec` — the QPU interconnect topology for distributed
+  backends;
+* :class:`RunOptions` — *how* to run it (shots, seed, worker pool, cache).
+
+Each spec has a ``validate()`` raising :class:`ValueError` on bad fields and
+a ``content_hash()`` — a SHA-256 hex digest over a canonical, type-tagged
+field encoding.  The digests are stable across processes and compose with
+:meth:`repro.engine.Job.content_hash`: an :class:`~repro.api.Experiment`
+hash is a digest over its spec digests plus its payload, so any spec
+mutation changes the experiment hash exactly as any job mutation changes
+the job hash.
+
+Seeds: ``RunOptions.seed=None`` means "draw one fresh seed from the OS
+entropy pool at run time and record it" (see :func:`fresh_seed`), so every
+run is reproducible after the fact from its recorded result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from ..core.cswap import DESIGNS
+from ..core.swap_test import VARIANTS
+from ..engine import Engine
+from ..network.topology import (
+    complete_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+from ..sim.noisemodel import NoiseModel
+
+__all__ = [
+    "BACKENDS",
+    "EXECUTORS",
+    "GHZ_MODES",
+    "TOPOLOGIES",
+    "NetworkSpec",
+    "NoiseSpec",
+    "ProtocolSpec",
+    "RunOptions",
+    "fresh_seed",
+    "stable_hash",
+]
+
+BACKENDS = ("monolithic", "compas")
+GHZ_MODES = ("linear", "fused")
+EXECUTORS = ("auto", "serial", "thread", "process")
+TOPOLOGIES = {
+    "line": line_topology,
+    "ring": ring_topology,
+    "star": star_topology,
+    "complete": complete_topology,
+}
+
+_PAULI_LETTERS = frozenset("IXYZ")
+
+
+def fresh_seed() -> int:
+    """One seed drawn from the OS entropy pool, small enough for any RNG."""
+    return int(np.random.SeedSequence().entropy % (2**63))
+
+
+# ----------------------------------------------------------------------
+# Canonical hashing
+# ----------------------------------------------------------------------
+def _hash_value(h, value) -> None:
+    """Feed ``value`` into ``h`` with an unambiguous type-tagged encoding."""
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        h.update(b"B" + (b"1" if value else b"0"))
+    elif isinstance(value, int):
+        h.update(b"I" + str(value).encode())
+    elif isinstance(value, float):
+        h.update(b"F" + struct.pack(">d", value))
+    elif isinstance(value, complex):
+        h.update(b"C" + struct.pack(">dd", value.real, value.imag))
+    elif isinstance(value, str):
+        h.update(b"S" + str(len(value)).encode() + b":" + value.encode())
+    elif isinstance(value, bytes):
+        h.update(b"Y" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        h.update(b"A" + arr.dtype.str.encode() + str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(value, (list, tuple)):
+        h.update(b"L" + str(len(value)).encode())
+        for item in value:
+            _hash_value(h, item)
+    elif isinstance(value, dict):
+        h.update(b"D" + str(len(value)).encode())
+        for key in sorted(value):
+            _hash_value(h, str(key))
+            _hash_value(h, value[key])
+    elif isinstance(value, (np.integer, np.floating, np.complexfloating)):
+        _hash_value(h, value.item())
+    else:
+        raise TypeError(f"cannot hash value of type {type(value).__name__}")
+
+
+def stable_hash(tag: str, value) -> str:
+    """SHA-256 hex digest of ``value`` under the canonical encoding."""
+    h = hashlib.sha256()
+    h.update(tag.encode())
+    _hash_value(h, value)
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Which multi-party SWAP-test circuit family to run.
+
+    ``k`` is the party count (``None`` means "inferred from the payload",
+    e.g. the number of input states or the Rényi order).  ``observable``
+    optionally names a Pauli string inserted under GHZ control (the
+    Sec 6.3 numerator circuit).
+    """
+
+    k: int | None = None
+    variant: str = "d"
+    ghz_mode: str = "linear"
+    backend: str = "monolithic"
+    design: str = "teledata"
+    observable: str | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        if self.k is not None and self.k < 2:
+            raise ValueError("need at least two parties (k >= 2)")
+        if self.variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}")
+        if self.ghz_mode not in GHZ_MODES:
+            raise ValueError(f"ghz_mode must be one of {GHZ_MODES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.design not in DESIGNS:
+            raise ValueError(f"design must be one of {DESIGNS}")
+        if self.observable is not None and (
+            not self.observable or set(self.observable) - _PAULI_LETTERS
+        ):
+            raise ValueError("observable must be a non-empty Pauli label (IXYZ)")
+
+    def content_hash(self) -> str:
+        """Stable digest of every field."""
+        return stable_hash("repro-protocol-spec-v1", asdict(self))
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """The paper's circuit-level noise rates (Sec 5.1), as a pure spec."""
+
+    p1: float = 0.0
+    p2: float = 0.0
+    p_meas: float = 0.0
+
+    @classmethod
+    def from_base(cls, p: float) -> "NoiseSpec":
+        """The paper's scaling: p/10 on 1q gates, p on 2q gates and readout."""
+        return cls(p1=p / 10.0, p2=p, p_meas=p)
+
+    @classmethod
+    def noiseless(cls) -> "NoiseSpec":
+        """All rates zero."""
+        return cls()
+
+    @classmethod
+    def from_model(cls, model: NoiseModel | None) -> "NoiseSpec":
+        """Lift a simulator-facing :class:`NoiseModel` into a spec."""
+        if model is None:
+            return cls()
+        return cls(p1=model.p1, p2=model.p2, p_meas=model.p_meas)
+
+    @property
+    def is_noiseless(self) -> bool:
+        """Whether every rate is exactly zero."""
+        return self.p1 == 0.0 and self.p2 == 0.0 and self.p_meas == 0.0
+
+    def to_model(self) -> NoiseModel | None:
+        """The simulator-facing model; ``None`` when noiseless (fast path)."""
+        if self.is_noiseless:
+            return None
+        return NoiseModel(p1=self.p1, p2=self.p2, p_meas=self.p_meas)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        for name, rate in (("p1", self.p1), ("p2", self.p2), ("p_meas", self.p_meas)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"noise rate {name} must be in [0, 1]")
+
+    def content_hash(self) -> str:
+        """Stable digest of every field."""
+        return stable_hash("repro-noise-spec-v1", asdict(self))
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """QPU interconnect for distributed backends (``backend="compas"``)."""
+
+    topology: str = "line"
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"topology must be one of {tuple(TOPOLOGIES)}")
+
+    def build(self, names):
+        """Instantiate the topology over the given QPU names."""
+        return TOPOLOGIES[self.topology](names)
+
+    def content_hash(self) -> str:
+        """Stable digest of every field."""
+        return stable_hash("repro-network-spec-v1", asdict(self))
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to execute: shot budget, seed, worker pool, and result cache.
+
+    ``seed=None`` draws one fresh entropy-pool seed at run time; the
+    resolved value is recorded in the :class:`~repro.api.ExperimentResult`
+    so the run stays reproducible.  ``executor="auto"`` picks ``serial``
+    for one worker and ``thread`` otherwise.
+    """
+
+    shots: int = 20_000
+    seed: int | None = None
+    workers: int = 1
+    executor: str = "auto"
+    cache: bool | str = False
+    batch_size: int | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        if self.shots < 1:
+            raise ValueError("shots must be positive")
+        if self.seed is not None and self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+
+    def resolved(self) -> "RunOptions":
+        """These options with a concrete seed (drawn if ``seed`` is None)."""
+        if self.seed is not None:
+            return self
+        return replace(self, seed=fresh_seed())
+
+    def resolved_executor(self) -> str:
+        """The executor the engine will actually use."""
+        if self.executor != "auto":
+            return self.executor
+        return "serial" if self.workers == 1 else "thread"
+
+    def make_engine(self) -> Engine:
+        """A fresh :class:`~repro.engine.Engine` configured by these options."""
+        return Engine(
+            workers=self.workers,
+            executor=self.resolved_executor(),
+            cache=self.cache,
+        )
+
+    def content_hash(self) -> str:
+        """Stable digest of every field."""
+        return stable_hash("repro-run-options-v1", asdict(self))

@@ -1,0 +1,133 @@
+"""Sweep-first execution: run one experiment over a parameter grid.
+
+Built on the same grid machinery as :meth:`repro.engine.Engine.sweep`
+(:func:`repro.engine.grid_points` — cartesian product in row-major key
+order), lifted from jobs to experiments: each grid point derives a new
+:class:`~repro.api.Experiment` via :meth:`~repro.api.Experiment.derive`
+and runs it through one shared engine, so the whole sweep benefits from
+the engine's worker pool and result cache.  Because engine execution is
+bit-identical for any worker count, so is an experiment sweep — the
+property ``tests/test_api.py`` pins.
+
+The base experiment's seed is resolved *once*, before the first point, so
+a sweep with ``seed=None`` is reproducible from the recorded per-point
+seeds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..engine import Engine, grid_points
+from .result import ExperimentResult
+
+__all__ = ["ExperimentSweepPoint", "SweepResult", "run_experiment_sweep"]
+
+
+@dataclass
+class ExperimentSweepPoint:
+    """One grid point: the derived parameters and the result envelope."""
+
+    params: dict
+    result: ExperimentResult
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, in grid order."""
+
+    base_hash: str
+    over: tuple[str, ...]
+    points: list[ExperimentSweepPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def values(self, key: str) -> list:
+        """The swept values of one parameter, in grid order."""
+        return [point.params[key] for point in self.points]
+
+    def estimates(self) -> list:
+        """The per-point estimates, in grid order."""
+        return [point.result.estimate for point in self.points]
+
+    def results(self) -> list[ExperimentResult]:
+        """The per-point result envelopes, in grid order."""
+        return [point.result for point in self.points]
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {
+            "base_hash": self.base_hash,
+            "over": list(self.over),
+            "points": [
+                {"params": point.params, "result": point.result.to_dict()}
+                for point in self.points
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_dict` output."""
+        return cls(
+            base_hash=payload["base_hash"],
+            over=tuple(payload["over"]),
+            points=[
+                ExperimentSweepPoint(
+                    params=dict(point["params"]),
+                    result=ExperimentResult.from_dict(point["result"]),
+                )
+                for point in payload["points"]
+            ],
+        )
+
+
+def _param_sets(over, values, grid) -> tuple[tuple[str, ...], list[dict]]:
+    """Normalise the sweep axes into a list of per-point parameter dicts."""
+    if grid is not None:
+        if over is not None or values is not None:
+            raise ValueError("give either grid= or over=/values=, not both")
+        if not grid:
+            raise ValueError("grid must name at least one parameter")
+        return tuple(grid), list(grid_points(grid))
+    if over is None or values is None:
+        raise ValueError("sweep needs over= and values= (or grid=)")
+    if isinstance(over, str):
+        return (over,), [{over: value} for value in values]
+    over = tuple(over)
+    sets = []
+    for value in values:
+        if not isinstance(value, Sequence) or len(value) != len(over):
+            raise ValueError("with a tuple of field names, each value must be a matching tuple")
+        sets.append(dict(zip(over, value)))
+    return over, sets
+
+
+def run_experiment_sweep(
+    experiment,
+    *,
+    over=None,
+    values=None,
+    grid: Mapping | None = None,
+    engine: Engine | None = None,
+    with_exact: bool = False,
+) -> SweepResult:
+    """Run the experiment once per grid point; see ``Experiment.sweep``."""
+    over, sets = _param_sets(over, values, grid)
+    base = experiment.with_options(seed=experiment.options.resolved().seed)
+    sweep = SweepResult(base_hash=base.content_hash(), over=over)
+    owns_engine = engine is None
+    if owns_engine:
+        engine = base.options.make_engine()
+    try:
+        for params in sets:
+            result = base.derive(**params).run(engine=engine, with_exact=with_exact)
+            sweep.points.append(ExperimentSweepPoint(params=dict(params), result=result))
+    finally:
+        if owns_engine:
+            engine.close()
+    return sweep

@@ -23,12 +23,10 @@ application, which preserves the assembly step COMPAS contributes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.estimator import multiparty_swap_test
 from ..core.cyclic_shift import multivariate_trace
 from ..engine import Engine
 
@@ -137,6 +135,7 @@ def parallel_qsp_trace_exact(rho: np.ndarray, factored: FactoredPolynomial) -> f
 def parallel_qsp_trace_sampled(
     rho: np.ndarray,
     factored: FactoredPolynomial,
+    *,
     shots: int = 30000,
     seed: int | None = None,
     variant: str = "d",
@@ -144,35 +143,19 @@ def parallel_qsp_trace_sampled(
 ) -> tuple[float, float]:
     """tr(P(rho)) through the real multi-party SWAP test.
 
-    Requires every factor matrix P_j(rho) to be PSD with positive trace
-    (choose factor groupings/offsets accordingly); each is normalised to a
-    state, the SWAP test estimates the product trace of the normalised
-    states, and the traces are multiplied back.  Returns
-    ``(estimate, exact)`` for convenience.
+    .. deprecated:: 1.1
+        Thin wrapper over ``Experiment.qsp(...).run(engine)``; use
+        :class:`repro.api.Experiment` directly (its envelope also records
+        the seed, which this tuple cannot).  Returns ``(estimate, exact)``
+        bit-identically to the pre-API implementation at the same integer
+        seed.
     """
-    matrices = [apply_polynomial(rho, f) for f in factored.factors]
-    norms = []
-    states = []
-    for m in matrices:
-        if np.linalg.norm(m - m.conj().T) > 1e-8:
-            raise ValueError("factor matrix is not Hermitian")
-        eigenvalues = np.linalg.eigvalsh(m)
-        if eigenvalues.min() < -1e-9:
-            raise ValueError(
-                "factor matrix is not PSD; the sampled path needs PSD factors"
-            )
-        trace = float(np.real(np.trace(m)))
-        if trace <= 1e-12:
-            raise ValueError("factor matrix has non-positive trace")
-        norms.append(trace)
-        states.append(m / trace)
-    if len(states) == 1:
-        estimate = 1.0
-    else:
-        result = multiparty_swap_test(
-            states, shots=shots, seed=seed, variant=variant, engine=engine
-        )
-        estimate = result.estimate.real
-    scale = factored.scale * math.prod(norms)
-    exact = parallel_qsp_trace_exact(rho, factored)
-    return scale * estimate, exact
+    from ..api import Experiment
+    from ..api.deprecation import warn_legacy
+
+    warn_legacy("parallel_qsp_trace_sampled()", "Experiment.qsp(...).run()")
+    return (
+        Experiment.qsp(rho, factored, shots=shots, seed=seed, variant=variant)
+        .run(engine=engine)
+        .raw
+    )

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.estimator import MultivariateTraceResult, multiparty_swap_test
+from ..core.estimator import MultivariateTraceResult
 from ..engine import Engine
 
 __all__ = ["RenyiResult", "renyi_entropy_exact", "estimate_renyi_entropy"]
@@ -46,6 +46,7 @@ def renyi_entropy_exact(rho: np.ndarray, order: int) -> float:
 def estimate_renyi_entropy(
     rho: np.ndarray,
     order: int,
+    *,
     shots: int = 20000,
     seed: int | None = None,
     backend: str = "monolithic",
@@ -55,26 +56,26 @@ def estimate_renyi_entropy(
 ) -> RenyiResult:
     """Estimate S_m(rho) with the (optionally distributed) SWAP test.
 
-    Runs the multi-party SWAP test on ``order`` copies of rho.  tr(rho^m)
-    is real and positive, so the real part of the estimate is used (clipped
-    away from zero to keep the logarithm finite at low shot counts).
+    .. deprecated:: 1.1
+        Thin wrapper over ``Experiment.renyi(...).run(engine)``; use
+        :class:`repro.api.Experiment` directly.  Results are bit-identical
+        at the same integer seed; ``seed=None`` draws a fresh seed
+        recorded under ``result.trace_result.resources["seed"]``.
     """
-    if order < 2:
-        raise ValueError("integer Rényi order must be >= 2")
-    result = multiparty_swap_test(
-        [rho] * order,
-        shots=shots,
-        seed=seed,
-        backend=backend,
-        variant=variant,
-        design=design,
-        engine=engine,
-    )
-    moment = max(result.estimate.real, 1e-9)
-    entropy = math.log(moment) / (1 - order)
-    return RenyiResult(
-        order=order,
-        entropy=entropy,
-        trace_estimate=result.estimate,
-        trace_result=result,
+    from ..api import Experiment
+    from ..api.deprecation import warn_legacy
+
+    warn_legacy("estimate_renyi_entropy()", "Experiment.renyi(...).run()")
+    return (
+        Experiment.renyi(
+            rho,
+            order,
+            shots=shots,
+            seed=seed,
+            backend=backend,
+            variant=variant,
+            design=design,
+        )
+        .run(engine=engine)
+        .raw
     )

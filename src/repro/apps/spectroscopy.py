@@ -18,9 +18,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.estimator import multiparty_swap_test
 from ..engine import Engine
-from ..utils.linalg import partial_trace
 
 __all__ = [
     "newton_girard_elementary",
@@ -67,6 +65,8 @@ class SpectroscopyResult:
     power_sums: list[float]
     eigenvalues: np.ndarray
     entanglement_energies: np.ndarray
+    seed: int | None = None
+    """The recorded top-level seed the per-order sub-seeds derive from."""
 
     def gap(self) -> float:
         """Entanglement gap: difference of the two lowest energies."""
@@ -79,6 +79,7 @@ def entanglement_spectroscopy(
     state: np.ndarray,
     keep: Sequence[int],
     num_qubits: int,
+    *,
     max_order: int | None = None,
     shots: int = 20000,
     seed: int | None = None,
@@ -89,34 +90,29 @@ def entanglement_spectroscopy(
 ) -> SpectroscopyResult:
     """Entanglement spectrum of a subsystem of a pure state.
 
-    Reduces ``state`` onto the ``keep`` qubits and estimates tr(rho_A^m)
-    for m = 1..max_order (default: the subsystem dimension), each with one
-    multi-party SWAP test (p_1 = 1 by normalisation).  ``exact`` replaces
-    the sampled traces with exact values (for validation).
+    .. deprecated:: 1.1
+        Thin wrapper over ``Experiment.spectroscopy(...)``; use
+        :class:`repro.api.Experiment` directly (``exact=True`` maps to
+        ``run_exact()``).  Results are bit-identical at the same integer
+        seed; ``seed=None`` draws a fresh seed recorded on
+        ``result.seed``.
     """
-    rho = partial_trace(np.asarray(state, dtype=complex), list(keep), num_qubits)
-    dim = rho.shape[0]
-    max_order = max_order or dim
-    power_sums: list[float] = [1.0]
-    rng = np.random.default_rng(seed)
-    for order in range(2, max_order + 1):
-        if exact:
-            eigenvalues = np.clip(np.linalg.eigvalsh(rho), 0.0, None)
-            power_sums.append(float(np.sum(eigenvalues**order)))
-        else:
-            result = multiparty_swap_test(
-                [rho] * order,
-                shots=shots,
-                seed=int(rng.integers(2**63)),
-                backend=backend,
-                variant=variant,
-                engine=engine,
-            )
-            power_sums.append(result.estimate.real)
-    eigenvalues = spectrum_from_power_sums(power_sums)
-    clipped = np.clip(eigenvalues, 1e-12, None)
-    return SpectroscopyResult(
-        power_sums=power_sums,
-        eigenvalues=eigenvalues,
-        entanglement_energies=-np.log(clipped),
+    from ..api import Experiment
+    from ..api.deprecation import warn_legacy
+
+    warn_legacy(
+        "entanglement_spectroscopy()", "Experiment.spectroscopy(...).run()"
     )
+    experiment = Experiment.spectroscopy(
+        state,
+        keep,
+        num_qubits,
+        max_order=max_order,
+        shots=shots,
+        seed=seed,
+        backend=backend,
+        variant=variant,
+    )
+    if exact:
+        return experiment.run_exact().raw
+    return experiment.run(engine=engine).raw

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.estimator import exact_swap_test_expectation, multiparty_swap_test
 from ..engine import Engine
 from ..sim.pauli import Pauli
 
@@ -43,6 +42,8 @@ class VirtualExpectationResult:
     numerator: complex
     denominator: complex
     value: float
+    seed: int | None = None
+    """The recorded top-level seed the two test sub-seeds derive from."""
 
     @property
     def mitigated_expectation(self) -> float:
@@ -69,6 +70,7 @@ def virtual_expectation(
     rho: np.ndarray,
     observable: str,
     copies: int,
+    *,
     shots: int = 30000,
     seed: int | None = None,
     exact_circuit: bool = False,
@@ -77,42 +79,28 @@ def virtual_expectation(
 ) -> VirtualExpectationResult:
     """Estimate <O>_chi with two SWAP tests (numerator and denominator).
 
-    ``exact_circuit`` evaluates both tests with the exact (shot-free)
-    expectation path — the circuit is still exercised, only sampling noise
-    is removed.  ``copies`` must be >= 2 (the SWAP test needs two parties).
+    .. deprecated:: 1.1
+        Thin wrapper over ``Experiment.virtual(...).run(engine)``; use
+        :class:`repro.api.Experiment` directly.  Results are bit-identical
+        at the same integer seed; ``seed=None`` draws a fresh seed
+        recorded on ``result.seed``.
     """
-    if copies < 2:
-        raise ValueError("the SWAP-test route needs at least two copies")
-    states = [rho] * copies
-    if exact_circuit:
-        numerator = exact_swap_test_expectation(states, observable=observable)
-        denominator = exact_swap_test_expectation(states)
-    else:
-        rng = np.random.default_rng(seed)
-        num_result = multiparty_swap_test(
-            states,
+    from ..api import Experiment
+    from ..api.deprecation import warn_legacy
+
+    warn_legacy("virtual_expectation()", "Experiment.virtual(...).run()")
+    return (
+        Experiment.virtual(
+            rho,
+            observable,
+            copies,
             shots=shots,
-            seed=int(rng.integers(2**63)),
+            seed=seed,
+            exact_circuit=exact_circuit,
             variant=variant,
-            observable=observable,
-            engine=engine,
         )
-        den_result = multiparty_swap_test(
-            states,
-            shots=shots,
-            seed=int(rng.integers(2**63)),
-            variant=variant,
-            engine=engine,
-        )
-        numerator = num_result.estimate
-        denominator = den_result.estimate
-    value = float(np.real(numerator) / max(np.real(denominator), 1e-9))
-    return VirtualExpectationResult(
-        observable=observable,
-        copies=copies,
-        numerator=numerator,
-        denominator=denominator,
-        value=value,
+        .run(engine=engine)
+        .raw
     )
 
 

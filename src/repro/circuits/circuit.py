@@ -13,7 +13,7 @@ computed by ASAP layering (see :mod:`repro.circuits.moments`).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np

@@ -18,6 +18,11 @@ deterministic batches.  Passing ``engine=Engine(workers=4, cache=True)``
 parallelises and caches the runs *bit-identically* to the default
 single-worker direct path, because batch RNG substreams depend only on the
 job spec, never on the worker count.
+
+As of the declarative API redesign the estimation pipeline itself lives in
+:func:`repro.api.execution.run_multiparty_swap_test`; the
+:func:`multiparty_swap_test` function kept here is a thin deprecated
+wrapper over ``Experiment.swap_test(...).run()``.
 """
 
 from __future__ import annotations
@@ -33,7 +38,6 @@ from ..sim.noisemodel import NoiseModel
 from ..sim.statevector import StatevectorSimulator, apply_gate
 from ..utils.linalg import kron_all
 from ..utils.states import assemble_initial_state
-from .cyclic_shift import multivariate_trace
 from .swap_test import SwapTestBuild, build_monolithic_swap_test
 
 __all__ = [
@@ -243,6 +247,7 @@ def exact_swap_test_expectation(
 
 def multiparty_swap_test(
     states: Sequence[np.ndarray],
+    *,
     shots: int = 20000,
     variant: str = "d",
     seed: int | None = None,
@@ -255,71 +260,29 @@ def multiparty_swap_test(
 ) -> MultivariateTraceResult:
     """Estimate tr(rho_1 rho_2 ... rho_k) with the multi-party SWAP test.
 
-    ``states`` are density matrices (or pure statevectors) of equal width.
-    Half the shots are spent in the X basis (real part), half in the Y basis
-    (imaginary part).  ``backend`` selects the monolithic Fig-2 circuit
-    (``variant`` picks which) or the fully distributed COMPAS protocol
-    (``design`` picks telegate/teledata).  ``engine`` routes shot execution
-    through a configured :class:`~repro.engine.Engine` (worker pool + result
-    cache); results are bit-identical to the default serial path.
+    .. deprecated:: 1.1
+        Thin wrapper over ``Experiment.swap_test(...).run(engine)``; use
+        :class:`repro.api.Experiment` directly.  Results are bit-identical
+        at the same integer seed.  ``seed=None`` now draws one fresh
+        entropy-pool seed and records it under ``result.resources["seed"]``
+        so the run stays reproducible after the fact.
     """
-    states = [np.asarray(s, dtype=complex) for s in states]
-    k = len(states)
-    if k < 2:
-        raise ValueError("need at least two states")
-    dim = states[0].shape[0]
-    if any(s.shape[0] != dim for s in states):
-        raise ValueError("all states must have equal width")
-    n = int(math.log2(dim))
-    if 2**n != dim:
-        raise ValueError("state dimension must be a power of two")
-    if shots < 2:
-        raise ValueError("need at least two shots (one per readout basis)")
-    rng = np.random.default_rng(seed)
-    shots_re = shots // 2
-    shots_im = shots - shots_re
+    from ..api import Experiment
+    from ..api.deprecation import warn_legacy
 
-    if backend == "monolithic":
-        build_x = build_monolithic_swap_test(
-            k, n, variant=variant, basis="x", ghz_mode=ghz_mode, observable=observable
+    warn_legacy("multiparty_swap_test()", "Experiment.swap_test(...).run()")
+    return (
+        Experiment.swap_test(
+            states,
+            shots=shots,
+            seed=seed,
+            variant=variant,
+            ghz_mode=ghz_mode,
+            backend=backend,
+            design=design,
+            observable=observable,
+            noise=noise,
         )
-        build_y = build_monolithic_swap_test(
-            k, n, variant=variant, basis="y", ghz_mode=ghz_mode, observable=observable
-        )
-        label = variant
-        resources = {
-            "backend": backend,
-            "ghz_width": build_x.ghz_width,
-            "total_qubits": build_x.total_qubits,
-            "stage_depths": build_x.stage_depths,
-        }
-    elif backend == "compas":
-        from .compas import build_compas
-
-        build_x = build_compas(k, n, design=design, basis="x")
-        build_y = build_compas(k, n, design=design, basis="y")
-        label = f"compas-{design}"
-        resources = {"backend": backend, **build_x.resources()}
-    else:
-        raise ValueError("backend must be 'monolithic' or 'compas'")
-
-    job_x = swap_test_job(build_x, states, shots_re, int(rng.integers(2**63)), noise=noise)
-    job_y = swap_test_job(build_y, states, shots_im, int(rng.integers(2**63)), noise=noise)
-    result_x, result_y = (engine or _default_engine()).run_many([job_x, job_y])
-    resources["engine"] = {
-        "backend": result_x.backend,
-        "batches": result_x.num_batches + result_y.num_batches,
-        "from_cache": result_x.from_cache and result_y.from_cache,
-    }
-
-    return MultivariateTraceResult(
-        estimate=complex(result_x.parity_mean, result_y.parity_mean),
-        stderr_re=result_x.parity_stderr,
-        stderr_im=result_y.parity_stderr,
-        shots_re=shots_re,
-        shots_im=shots_im,
-        k=k,
-        n=n,
-        variant=label,
-        resources=resources,
+        .run(engine=engine)
+        .raw
     )

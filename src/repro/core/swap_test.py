@@ -17,7 +17,6 @@ estimator reproduces tr(rho_1 rho_2 ... rho_k) in the caller's order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Sequence
 
 from ..fanout.fanout import fanout_ancillas_required
 from ..fanout.parallel_toffoli import append_parallel_cswap

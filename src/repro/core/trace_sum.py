@@ -23,7 +23,7 @@ import numpy as np
 
 from ..engine import Engine
 from .cyclic_shift import multivariate_trace
-from .estimator import MultivariateTraceResult, multiparty_swap_test
+from .estimator import MultivariateTraceResult
 
 __all__ = ["TraceSumResult", "estimate_trace_sum", "exact_trace_sum"]
 
@@ -36,6 +36,8 @@ class TraceSumResult:
     stderr: float
     weights: tuple[complex, ...]
     terms: list[MultivariateTraceResult | None] = field(default_factory=list)
+    seed: int | None = None
+    """The recorded top-level seed the term sub-seeds derive from."""
 
     @property
     def num_terms(self) -> int:
@@ -58,6 +60,7 @@ def exact_trace_sum(
 def estimate_trace_sum(
     groups: Sequence[Sequence[np.ndarray]],
     weights: Sequence[complex],
+    *,
     shots: int = 40000,
     seed: int | None = None,
     variant: str = "d",
@@ -67,49 +70,26 @@ def estimate_trace_sum(
 ) -> TraceSumResult:
     """Estimate a weighted sum of multivariate traces.
 
-    ``groups[j]`` is the list of states of term j; ``weights[j]`` its
-    coefficient.  The total ``shots`` budget is allocated across the terms
-    proportionally to |w_j|.  Single-state groups are resolved exactly
-    (their trace is 1 by normalisation).
+    .. deprecated:: 1.1
+        Thin wrapper over ``Experiment.trace_sum(...).run(engine)``; use
+        :class:`repro.api.Experiment` directly.  Results are bit-identical
+        at the same integer seed; ``seed=None`` draws a fresh recorded
+        seed (``result.seed``).
     """
-    if len(groups) != len(weights):
-        raise ValueError("one weight per group required")
-    if not groups:
-        raise ValueError("need at least one term")
-    weights = [complex(w) for w in weights]
-    rng = np.random.default_rng(seed)
+    from ..api import Experiment
+    from ..api.deprecation import warn_legacy
 
-    needs_shots = [j for j, g in enumerate(groups) if len(g) >= 2]
-    weight_mass = sum(abs(weights[j]) for j in needs_shots)
-    total = 0.0 + 0.0j
-    variance = 0.0
-    terms: list[MultivariateTraceResult | None] = []
-    for j, (group, weight) in enumerate(zip(groups, weights)):
-        if len(group) < 2:
-            total += weight  # tr(rho) = 1
-            terms.append(None)
-            continue
-        if weight == 0:
-            terms.append(None)
-            continue
-        share = abs(weight) / weight_mass if weight_mass > 0 else 1.0 / len(needs_shots)
-        term_shots = max(int(round(shots * share)), 64)
-        result = multiparty_swap_test(
-            list(group),
-            shots=term_shots,
-            seed=int(rng.integers(2**63)),
+    warn_legacy("estimate_trace_sum()", "Experiment.trace_sum(...).run()")
+    return (
+        Experiment.trace_sum(
+            groups,
+            weights,
+            shots=shots,
+            seed=seed,
             variant=variant,
             backend=backend,
             design=design,
-            engine=engine,
         )
-        terms.append(result)
-        total += weight * result.estimate
-        spread = max(result.stderr_re, result.stderr_im)
-        variance += (abs(weight) * spread) ** 2
-    return TraceSumResult(
-        estimate=complex(total),
-        stderr=float(np.sqrt(variance)),
-        weights=tuple(weights),
-        terms=terms,
+        .run(engine=engine)
+        .raw
     )

@@ -7,7 +7,7 @@ estimator, the Section-6 applications, and the benchmarks submit
 """
 
 from .cache import CacheStats, ResultCache
-from .engine import Engine, EngineStats, SweepPoint
+from .engine import Engine, EngineStats, SweepPoint, grid_points
 from .job import DEFAULT_BATCH_SIZE, Ensemble, Job, JobResult
 from .router import BackendChoice, BackendRouter
 from .runners import Batch, BatchStats, batch_rng, execute_batch
@@ -30,4 +30,5 @@ __all__ = [
     "batch_rng",
     "execute_batch",
     "Scheduler",
+    "grid_points",
 ]

@@ -30,7 +30,18 @@ from .router import BackendChoice, BackendRouter
 from .runners import BatchStats
 from .scheduler import Scheduler
 
-__all__ = ["Engine", "EngineStats", "SweepPoint"]
+__all__ = ["Engine", "EngineStats", "SweepPoint", "grid_points"]
+
+
+def grid_points(grid: Mapping[str, Sequence]):
+    """Yield the cartesian product of ``grid`` as parameter dicts.
+
+    Row-major order of the grid's keys — the ordering contract shared by
+    :meth:`Engine.sweep` and :meth:`repro.api.Experiment.sweep`.
+    """
+    keys = list(grid)
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        yield dict(zip(keys, combo))
 
 
 @dataclass
@@ -125,12 +136,10 @@ class Engine:
         Returns one :class:`SweepPoint` per grid point, in row-major order
         of the grid's keys.
         """
-        keys = list(grid)
-        points = []
-        for combo in itertools.product(*(grid[k] for k in keys)):
-            params = dict(zip(keys, combo))
-            points.append(SweepPoint(params=params, result=self.run(make_job(**params))))
-        return points
+        return [
+            SweepPoint(params=params, result=self.run(make_job(**params)))
+            for params in grid_points(grid)
+        ]
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

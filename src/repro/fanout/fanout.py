@@ -22,7 +22,7 @@ Fanout gates (Sec 3.6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 from ..circuits.circuit import Condition

@@ -1,11 +1,9 @@
 """Tests for the Table 4 / Fig 9 noise analyses."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
     PrimitiveErrorModel,
-    build_blackbox_cswap,
     cswap_classical_fidelity,
     fanout_error_distribution,
     ghz_fidelity_density,

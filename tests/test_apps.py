@@ -26,7 +26,6 @@ from repro.utils import (
     noisy_pure_state,
     random_density_matrix,
     random_hermitian,
-    thermal_state,
 )
 
 RNG = np.random.default_rng(55)

@@ -1,6 +1,5 @@
 """Unit tests for repro.utils.bits."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.bits import (

@@ -10,7 +10,7 @@ from repro.core.estimator import (
     multiparty_swap_test,
     sample_pure_inputs,
 )
-from repro.utils import ghz_state, random_density_matrix, random_pure_state
+from repro.utils import random_density_matrix, random_pure_state
 
 RNG = np.random.default_rng(23)
 

@@ -1,6 +1,5 @@
 """Scheduling tests: moments, barriers, classical dependencies."""
 
-import pytest
 
 from repro.circuits import Circuit, Condition, circuit_depth, circuit_moments
 

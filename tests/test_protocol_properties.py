@@ -4,7 +4,6 @@ These pin the structural invariants the paper's arguments rest on, for all
 small-to-moderate (k, n) rather than a few hand-picked cases.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core import build_compas

@@ -9,7 +9,6 @@ a silent-pass here would mean the test oracles are vacuous.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.circuits import Circuit, Condition
 from repro.sim import (

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.cyclic_shift import multivariate_trace
 from repro.core.estimator import exact_swap_test_expectation
-from repro.core.swap_test import VARIANTS, build_monolithic_swap_test
+from repro.core.swap_test import build_monolithic_swap_test
 from repro.utils import random_density_matrix
 
 RNG = np.random.default_rng(17)

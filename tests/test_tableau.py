@@ -5,7 +5,6 @@ import pytest
 
 from repro.circuits import Circuit
 from repro.sim import Pauli, StatevectorSimulator, TableauSimulator
-from repro.sim.statevector import apply_gate
 
 RNG = np.random.default_rng(2024)
 
