@@ -5,7 +5,8 @@ same rows/series the paper reports (visible with ``pytest -s``) and persists
 the raw data as JSON under ``benchmarks/out/`` for EXPERIMENTS.md.
 
 Scale knobs: the paper's own artifact takes ~5 hours; these defaults are
-sized for minutes.  Set ``REPRO_BENCH_SCALE=full`` for paper-scale shots.
+sized for minutes.  Set ``REPRO_BENCH_SCALE=full`` for paper-scale shots,
+``REPRO_BENCH_SCALE=smoke`` for the CI smoke tier (seconds).
 """
 
 import json
@@ -18,7 +19,18 @@ import pytest
 
 OUT_DIR = Path(__file__).parent / "out"
 
-FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+FULL_SCALE = SCALE == "full"
+SMOKE = SCALE == "smoke"
+
+
+def scaled(full: int, quick: int, smoke: int | None = None) -> int:
+    """Pick a shot budget for the active benchmark scale tier."""
+    if FULL_SCALE:
+        return full
+    if SMOKE:
+        return smoke if smoke is not None else max(1, quick // 4)
+    return quick
 
 
 def cpu_count() -> int:
@@ -63,8 +75,15 @@ def emit(name: str, payload, wall_time: float | None = None, engine=None, result
     document = json.loads(payload.to_json())
     meta = {"wall_time_s": wall_time}
     if engine is not None:
-        meta["engine"] = engine.stats_dict()
-        print(f"engine: {json.dumps(meta['engine'])}")
+        stats = engine.stats_dict()
+        meta["engine"] = stats
+        meta["compile_time_s"] = stats.get("compile_time", 0.0)
+        meta["execute_time_s"] = stats.get("execute_time", 0.0)
+        print(f"engine: {json.dumps(stats)}")
+        print(
+            f"compile time: {meta['compile_time_s']:.4f}s / "
+            f"execute time: {meta['execute_time_s']:.4f}s"
+        )
     if wall_time is not None:
         print(f"wall time: {wall_time:.2f}s")
     document["meta"] = meta

@@ -127,7 +127,10 @@ def run_multiparty_swap_test(
         "backend": result_x.backend,
         "batches": result_x.num_batches + result_y.num_batches,
         "from_cache": result_x.from_cache and result_y.from_cache,
+        "compile_time": result_x.compile_time + result_y.compile_time,
+        "execute_time": result_x.execute_time + result_y.execute_time,
     }
+    resources["compiled"] = job_x.metadata.get("compiled")
 
     return MultivariateTraceResult(
         estimate=complex(result_x.parity_mean, result_y.parity_mean),

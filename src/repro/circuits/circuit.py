@@ -12,6 +12,8 @@ computed by ASAP layering (see :mod:`repro.circuits.moments`).
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections import Counter
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
@@ -21,7 +23,7 @@ import numpy as np
 from ..utils.linalg import embed_operator
 from .gates import GATES, gate_matrix, inverse_gate
 
-__all__ = ["Condition", "Instruction", "Circuit"]
+__all__ = ["Condition", "Instruction", "Circuit", "circuit_digest"]
 
 #: Instruction names that are not unitary gates.
 NON_GATE_OPS = ("measure", "reset", "barrier")
@@ -284,6 +286,16 @@ class Circuit:
 
         return circuit_depth(self, count_measurements=count_measurements)
 
+    def content_digest(self) -> bytes:
+        """Canonical byte digest of the circuit's structure.
+
+        Two circuits digest identically iff they have the same registers and
+        the same instruction sequence (names, qubits, clbits, parameters,
+        conditions).  This is the key of the per-process compile cache and a
+        component of the engine's job content hash.
+        """
+        return circuit_digest(self)
+
     def two_qubit_gate_count(self) -> int:
         """Number of gates acting on two or more qubits."""
         return sum(
@@ -397,3 +409,26 @@ class Circuit:
 
     def __iter__(self) -> Iterable[Instruction]:
         return iter(self.instructions)
+
+
+def circuit_digest(circuit: "Circuit") -> bytes:
+    """Canonical byte encoding of a circuit's structure (see ``content_digest``).
+
+    The byte format is shared with the engine's job hash: any mutation of a
+    gate name, qubit, clbit, parameter, or condition changes the digest.
+    """
+    h = hashlib.sha256()
+    h.update(struct.pack(">qq", circuit.num_qubits, circuit.num_clbits))
+    for inst in circuit.instructions:
+        h.update(inst.name.encode())
+        h.update(b"q" + ",".join(map(str, inst.qubits)).encode())
+        h.update(b"c" + ",".join(map(str, inst.clbits)).encode())
+        if inst.params:
+            h.update(struct.pack(f">{len(inst.params)}d", *inst.params))
+        if inst.condition is not None:
+            h.update(
+                b"if" + ",".join(map(str, inst.condition.clbits)).encode()
+                + bytes([inst.condition.value])
+            )
+        h.update(b";")
+    return h.digest()

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -21,6 +22,7 @@ __all__ = [
     "GateSpec",
     "GATES",
     "gate_matrix",
+    "cached_gate_matrix",
     "is_clifford_gate",
     "I2",
     "X",
@@ -146,6 +148,23 @@ def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
     if spec is None:
         raise KeyError(f"unknown gate {name!r}")
     return spec.matrix(params)
+
+
+@lru_cache(maxsize=None)
+def cached_gate_matrix(name: str) -> np.ndarray:
+    """Memoised :func:`gate_matrix` for parameterless gates.
+
+    Hot loops (the per-shot reference interpreter, the compiler) resolve the
+    same constant matrices over and over; this skips the registry lookup and
+    arity check after the first call.  The returned array is shared — callers
+    must not mutate it.
+    """
+    spec = GATES.get(name)
+    if spec is None:
+        raise KeyError(f"unknown gate {name!r}")
+    if spec.num_params:
+        raise ValueError(f"gate {name} is parameterised; use gate_matrix")
+    return spec.matrix(())
 
 
 def is_clifford_gate(name: str) -> bool:

@@ -34,6 +34,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..engine import Engine, Ensemble, Job
+from ..sim.compile import get_capabilities
 from ..sim.noisemodel import NoiseModel
 from ..sim.statevector import StatevectorSimulator, apply_gate
 from ..utils.linalg import kron_all
@@ -144,12 +145,18 @@ def swap_test_job(
     seed: int,
     noise: NoiseModel | None = None,
     batch_size: int | None = None,
+    backend: str | None = None,
 ) -> Job:
     """Package a built (readout-carrying) SWAP test as an engine job.
 
     Each input state becomes a per-shot :class:`~repro.engine.Ensemble` over
     its eigen-decomposition (pure states degenerate to a single component),
-    loaded into the position register the build assigned to it.
+    loaded into the position register the build assigned to it.  The
+    circuit's capability flags (a cached scan — full compilation is left to
+    the executing worker so the engine's compile-time accounting stays
+    honest) are recorded in the job metadata.  ``backend`` optionally pins
+    a simulator (e.g. ``"statevector-ref"`` for the per-shot reference
+    path).
     """
     if build.basis is None:
         raise ValueError("build must include a readout basis")
@@ -160,15 +167,28 @@ def swap_test_job(
         ensembles.append(
             Ensemble.from_states(build.position_registers[position], pairs)
         )
+    circuit = build.circuit()
+    capabilities = get_capabilities(circuit)
     return Job(
-        circuit=build.circuit(),
+        circuit=circuit,
         shots=shots,
         seed=seed,
         noise=noise,
         ensembles=tuple(ensembles),
         readout=build.readout_clbits,
         batch_size=batch_size,
-        metadata={"variant": build.variant, "k": build.k, "n": build.n},
+        backend=backend,
+        metadata={
+            "variant": build.variant,
+            "k": build.k,
+            "n": build.n,
+            "compiled": {
+                "instructions": len(circuit.instructions),
+                "num_measurements": capabilities.num_measurements,
+                "is_clifford": capabilities.is_clifford,
+                "is_frame_compatible": capabilities.is_frame_compatible,
+            },
+        },
     )
 
 

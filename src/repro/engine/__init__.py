@@ -8,8 +8,8 @@ estimator, the Section-6 applications, and the benchmarks submit
 
 from .cache import CacheStats, ResultCache
 from .engine import Engine, EngineStats, SweepPoint, grid_points
-from .job import DEFAULT_BATCH_SIZE, Ensemble, Job, JobResult
-from .router import BackendChoice, BackendRouter
+from .job import DEFAULT_BATCH_SIZE, JOB_BACKENDS, Ensemble, Job, JobResult
+from .router import BACKENDS, BackendChoice, BackendRouter
 from .runners import Batch, BatchStats, batch_rng, execute_batch
 from .scheduler import Scheduler
 
@@ -20,6 +20,8 @@ __all__ = [
     "EngineStats",
     "SweepPoint",
     "DEFAULT_BATCH_SIZE",
+    "JOB_BACKENDS",
+    "BACKENDS",
     "Ensemble",
     "Job",
     "JobResult",

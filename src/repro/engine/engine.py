@@ -52,6 +52,8 @@ class EngineStats:
     cached_jobs: int = 0
     shots: int = 0
     wall_time: float = 0.0
+    compile_time: float = 0.0
+    execute_time: float = 0.0
     backends: Counter = field(default_factory=Counter)
 
     def to_dict(self) -> dict:
@@ -61,6 +63,8 @@ class EngineStats:
             "cached_jobs": self.cached_jobs,
             "shots": self.shots,
             "wall_time": self.wall_time,
+            "compile_time": self.compile_time,
+            "execute_time": self.execute_time,
             "backends": dict(self.backends),
         }
 
@@ -121,6 +125,8 @@ class Engine:
         self.stats.jobs += 1
         self.stats.shots += job.shots
         self.stats.wall_time += elapsed
+        self.stats.compile_time += result.compile_time
+        self.stats.execute_time += result.execute_time
         self.stats.backends[choice.name] += 1
         return result
 
@@ -171,8 +177,12 @@ def _combine(
     """Reduce batch aggregates in index order into one JobResult."""
     ordered = sorted(batch_stats, key=lambda s: s.index)
     counts: Counter = Counter()
+    compile_time = 0.0
+    execute_time = 0.0
     for stats in ordered:
         counts.update(stats.counts)
+        compile_time += stats.compile_time
+        execute_time += stats.execute_time
     parity_mean = parity_stderr = None
     probabilities = None
     if job.mode == "exact":
@@ -199,4 +209,6 @@ def _combine(
         parity_mean=parity_mean,
         parity_stderr=parity_stderr,
         elapsed=elapsed,
+        compile_time=compile_time,
+        execute_time=execute_time,
     )

@@ -24,10 +24,10 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from ..circuits.circuit import Circuit
+from ..circuits.circuit import Circuit, circuit_digest
 from ..sim.noisemodel import NoiseModel
 
-__all__ = ["DEFAULT_BATCH_SIZE", "Ensemble", "Job", "JobResult"]
+__all__ = ["DEFAULT_BATCH_SIZE", "Ensemble", "Job", "JobResult", "JOB_BACKENDS"]
 
 #: Shots per scheduler batch when the job does not override it.  The batch
 #: partition (not the worker count) defines the RNG substreams, so this value
@@ -37,6 +37,11 @@ DEFAULT_BATCH_SIZE = 256
 
 #: Job execution modes.
 MODES = ("sample", "exact", "frames")
+
+#: Backends a job may explicitly pin via ``Job.backend`` (``None`` = route
+#: automatically).  ``statevector-ref`` is the per-shot reference
+#: interpreter, kept for cross-validating the vectorized kernel.
+JOB_BACKENDS = ("tableau", "pauliframe", "statevector", "statevector-ref", "density")
 
 
 @dataclass(frozen=True)
@@ -96,6 +101,11 @@ class Job:
       full branch distribution is returned.
     * ``"frames"`` — sample effective Pauli errors of a noisy Clifford
       circuit on ``frame_qubits`` (the Table-4 workload).
+
+    ``backend`` pins a specific simulator (one of :data:`JOB_BACKENDS`)
+    instead of letting the router choose; it is part of the content hash
+    because the RNG consumption — and therefore the sampled result — is
+    backend-specific.
     """
 
     circuit: Circuit
@@ -107,12 +117,15 @@ class Job:
     readout: tuple[int, ...] = ()
     frame_qubits: tuple[int, ...] = ()
     mode: str = "sample"
+    backend: str | None = None
     batch_size: int | None = None
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}")
+        if self.backend is not None and self.backend not in JOB_BACKENDS:
+            raise ValueError(f"backend must be one of {JOB_BACKENDS} (or None)")
         if self.mode != "exact" and self.shots < 1:
             raise ValueError("sampled jobs need at least one shot")
         if self.seed < 0:
@@ -134,10 +147,17 @@ class Job:
     # Content hash
     # ------------------------------------------------------------------
     def content_hash(self) -> str:
-        """Stable hex digest of everything that determines the result."""
+        """Stable hex digest of everything that determines the result.
+
+        The ``v2`` tag marks the vectorized-kernel era: the same spec
+        produces different (equally valid) samples than the pre-compile
+        per-shot path, so persisted v1 cache entries must never be served.
+        """
         h = hashlib.sha256()
-        h.update(b"repro-job-v1")
+        h.update(b"repro-job-v2")
         h.update(_circuit_digest(self.circuit))
+        if self.backend is not None:
+            h.update(b"be" + self.backend.encode())
         h.update(
             struct.pack(
                 ">qqqB",
@@ -164,23 +184,9 @@ class Job:
         return h.hexdigest()
 
 
-def _circuit_digest(circuit: Circuit) -> bytes:
-    """Canonical byte encoding of a circuit's structure."""
-    h = hashlib.sha256()
-    h.update(struct.pack(">qq", circuit.num_qubits, circuit.num_clbits))
-    for inst in circuit.instructions:
-        h.update(inst.name.encode())
-        h.update(b"q" + ",".join(map(str, inst.qubits)).encode())
-        h.update(b"c" + ",".join(map(str, inst.clbits)).encode())
-        if inst.params:
-            h.update(struct.pack(f">{len(inst.params)}d", *inst.params))
-        if inst.condition is not None:
-            h.update(
-                b"if" + ",".join(map(str, inst.condition.clbits)).encode()
-                + bytes([inst.condition.value])
-            )
-        h.update(b";")
-    return h.digest()
+#: Canonical circuit structure digest — shared with the compile cache so a
+#: job's hash and its compiled program are keyed by the same bytes.
+_circuit_digest = circuit_digest
 
 
 @dataclass
@@ -196,6 +202,8 @@ class JobResult:
     parity_mean: float | None = None
     parity_stderr: float | None = None
     elapsed: float = 0.0
+    compile_time: float = 0.0
+    execute_time: float = 0.0
     from_cache: bool = False
 
     def cached_copy(self) -> "JobResult":
@@ -217,6 +225,8 @@ class JobResult:
             "parity_mean": self.parity_mean,
             "parity_stderr": self.parity_stderr,
             "elapsed": self.elapsed,
+            "compile_time": self.compile_time,
+            "execute_time": self.execute_time,
         }
 
     @classmethod
@@ -234,4 +244,6 @@ class JobResult:
             parity_mean=payload.get("parity_mean"),
             parity_stderr=payload.get("parity_stderr"),
             elapsed=float(payload.get("elapsed", 0.0)),
+            compile_time=float(payload.get("compile_time", 0.0)),
+            execute_time=float(payload.get("execute_time", 0.0)),
         )

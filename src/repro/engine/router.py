@@ -1,7 +1,15 @@
 """Backend auto-selection: the cheapest simulator that can honour a job.
 
+Routing decisions consume the **compiled capability flags**
+(:func:`repro.sim.compile.get_capabilities`) — Clifford-ness, frame
+compatibility, measurement census — computed once per circuit and cached by
+content digest, instead of re-scanning the instruction list per decision.
+
 Routing rules, in order:
 
+0. ``job.backend``       → explicit pin (after checking the backend can
+   honour the job); ``statevector-ref`` selects the per-shot reference
+   interpreter for cross-validating the vectorized kernel.
 1. ``mode="exact"``   → :class:`DensitySimulator` — exact mixed-state
    evolution over the full branch ensemble was explicitly requested.
 2. ``mode="frames"``  → :class:`PauliFrameSimulator` — effective-Pauli-error
@@ -12,9 +20,9 @@ Routing rules, in order:
       is noiseless, and the input is the computational basis state (the
       tableau cannot load arbitrary amplitudes) — O(n^2) per gate instead of
       O(2^n).
-   b. :class:`StatevectorSimulator` otherwise — the general trajectory
-      sampler handles non-Clifford gates, arbitrary input states, stochastic
-      input ensembles, and circuit-level depolarizing noise.
+   b. the vectorized batched statevector kernel otherwise — it handles
+      non-Clifford gates, arbitrary input states, stochastic input
+      ensembles, and circuit-level depolarizing noise.
 """
 
 from __future__ import annotations
@@ -22,35 +30,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import is_clifford_gate
-from .job import Job
+from ..sim.compile import get_capabilities
+from .job import JOB_BACKENDS, Job
 
 __all__ = ["BackendChoice", "BackendRouter", "BACKENDS"]
 
-BACKENDS = ("tableau", "pauliframe", "statevector", "density")
-
-_PAULI_FEEDBACK = ("x", "y", "z")
+BACKENDS = JOB_BACKENDS
 
 
 def circuit_is_clifford(circuit: Circuit) -> bool:
-    """Whether every gate in the circuit is Clifford."""
-    return all(
-        is_clifford_gate(inst.name)
-        for inst in circuit.instructions
-        if inst.is_gate and inst.name != "barrier"
-    )
+    """Whether every gate in the circuit is Clifford (cached capability)."""
+    return get_capabilities(circuit).is_clifford
 
 
 def circuit_is_frame_compatible(circuit: Circuit) -> bool:
     """Clifford-only with Pauli-only classical feedback (frame-sim contract)."""
-    for inst in circuit.instructions:
-        if inst.name in ("barrier", "measure", "reset"):
-            continue
-        if inst.condition is not None and inst.name not in _PAULI_FEEDBACK:
-            return False
-        if not is_clifford_gate(inst.name):
-            return False
-    return True
+    return get_capabilities(circuit).is_frame_compatible
 
 
 @dataclass(frozen=True)
@@ -66,14 +61,18 @@ class BackendRouter:
 
     def select(self, job: Job) -> BackendChoice:
         """Pick the cheapest simulator capable of executing ``job``."""
+        if job.backend is not None:
+            self._check_pinned(job)
+            return BackendChoice(job.backend, "explicitly pinned by the job")
         if job.mode == "exact":
             return BackendChoice(
                 "density", "exact mixed-state evolution requested"
             )
+        capabilities = get_capabilities(job.circuit)
         if job.mode == "frames":
             if job.noise is None or job.noise.is_noiseless:
                 raise ValueError("frames mode needs a non-trivial noise model")
-            if not circuit_is_frame_compatible(job.circuit):
+            if not capabilities.is_frame_compatible:
                 raise ValueError(
                     "frames mode needs a Clifford circuit with Pauli-only feedback"
                 )
@@ -82,10 +81,42 @@ class BackendRouter:
             )
         noiseless = job.noise is None or job.noise.is_noiseless
         basis_input = job.initial_state is None and not job.ensembles
-        if basis_input and noiseless and circuit_is_clifford(job.circuit):
+        if basis_input and noiseless and capabilities.is_clifford:
             return BackendChoice(
                 "tableau", "Clifford-only, noiseless, basis input: stabilizer tableau"
             )
         return BackendChoice(
-            "statevector", "general circuit/input/noise: trajectory sampling"
+            "statevector", "general circuit/input/noise: vectorized batch kernel"
         )
+
+    # ------------------------------------------------------------------
+    def _check_pinned(self, job: Job) -> None:
+        backend = job.backend
+        if backend == "density":
+            if job.mode != "exact":
+                raise ValueError("the density backend requires mode='exact'")
+            return
+        if job.mode == "exact":
+            raise ValueError("mode='exact' can only run on the density backend")
+        if backend == "pauliframe":
+            if job.mode != "frames":
+                raise ValueError("the pauliframe backend requires mode='frames'")
+            if job.noise is None or job.noise.is_noiseless:
+                raise ValueError("frames mode needs a non-trivial noise model")
+            if not get_capabilities(job.circuit).is_frame_compatible:
+                raise ValueError(
+                    "frames mode needs a Clifford circuit with Pauli-only feedback"
+                )
+            return
+        if job.mode == "frames":
+            raise ValueError("mode='frames' can only run on the pauliframe backend")
+        if backend == "tableau":
+            noiseless = job.noise is None or job.noise.is_noiseless
+            basis_input = job.initial_state is None and not job.ensembles
+            if not (
+                noiseless and basis_input and get_capabilities(job.circuit).is_clifford
+            ):
+                raise ValueError(
+                    "the tableau backend needs a noiseless Clifford circuit "
+                    "on a basis input"
+                )

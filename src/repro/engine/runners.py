@@ -7,17 +7,28 @@ how many workers exist — and batch statistics are combined in index order
 with exact floating-point sums (parities are ±1), the engine's results are
 bit-identical for any worker count.
 
+The default ``statevector`` backend executes **compiled programs** through
+the vectorized batch kernel: the circuit is lowered once per process
+(:mod:`repro.sim.compile`, cached by content digest), stochastic input
+ensembles are sampled in one vectorized draw and grouped by component so
+each distinct input state shares its deterministic prefix, and the whole
+group evolves as a ``(shots, 2**n)`` array.  ``statevector-ref`` keeps the
+historical per-shot interpreter loop for cross-validation.
+
 ``execute_batch`` is a module-level function taking only picklable
 arguments, so the scheduler can dispatch it to thread *or* process pools.
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..sim.batched import run_batched
+from ..sim.compile import get_compiled
 from ..sim.density import DensitySimulator
 from ..sim.pauliframe import PauliFrameSimulator
 from ..sim.statevector import StatevectorSimulator
@@ -46,6 +57,8 @@ class BatchStats:
     parity_total: float = 0.0
     parity_total_sq: float = 0.0
     probabilities: dict[str, float] | None = None
+    compile_time: float = 0.0
+    execute_time: float = 0.0
 
 
 def batch_rng(seed: int, index: int) -> np.random.Generator:
@@ -80,6 +93,8 @@ def execute_batch(job: Job, batch: Batch, backend: str) -> BatchStats:
     """Run one batch on the routed backend, returning its aggregates."""
     if backend == "statevector":
         return _statevector_batch(job, batch)
+    if backend == "statevector-ref":
+        return _statevector_ref_batch(job, batch)
     if backend == "tableau":
         return _tableau_batch(job, batch)
     if backend == "pauliframe":
@@ -97,24 +112,117 @@ def _accumulate(stats: BatchStats, clbits: list[int], job: Job) -> None:
         stats.parity_total_sq += value * value
 
 
+# ----------------------------------------------------------------------
+# Vectorized statevector backend (compiled programs + batch kernel)
+# ----------------------------------------------------------------------
+def _accumulate_matrix(stats: BatchStats, clbits: np.ndarray, job: Job) -> None:
+    """Fold a (shots, num_clbits) outcome matrix into the batch aggregates.
+
+    Parity values are ±1, so the float sums are exact integers and the
+    totals do not depend on accumulation order — regrouping shots (by
+    ensemble component, by chunk) never changes the bits.
+    """
+    shots = clbits.shape[0]
+    if clbits.shape[1]:
+        rows, row_counts = np.unique(clbits, axis=0, return_counts=True)
+        for row, count in zip(rows, row_counts):
+            stats.counts["".join(str(int(b)) for b in row)] += int(count)
+    else:
+        stats.counts[""] += shots
+    if job.readout:
+        parity = np.zeros(shots, dtype=np.uint8)
+        for c in job.readout:
+            parity ^= clbits[:, c]
+        values = 1.0 - 2.0 * parity.astype(np.float64)
+        stats.parity_total += float(values.sum())
+        stats.parity_total_sq += float(shots)
+
+
+def _ensemble_groups(
+    job: Job, shots: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, int]]:
+    """Sample every shot's input-ensemble components in one vectorized draw.
+
+    Returns ``(initial_state, count)`` groups — shots sharing a component
+    combination share one assembled input state, so the kernel evolves their
+    common deterministic prefix once per group instead of once per shot.
+    """
+    draws = []
+    for ens in job.ensembles:
+        if ens.is_deterministic:
+            draws.append(np.zeros(shots, dtype=np.int64))
+        else:
+            draws.append(rng.choice(len(ens.weights), p=ens.weights, size=shots))
+    combos = np.stack(draws, axis=1)
+    unique, combo_counts = np.unique(combos, axis=0, return_counts=True)
+    groups = []
+    for combo, count in zip(unique, combo_counts):
+        placements = {
+            ens.qubits: ens.vector(int(component))
+            for ens, component in zip(job.ensembles, combo)
+        }
+        groups.append(
+            (assemble_initial_state(job.circuit.num_qubits, placements), int(count))
+        )
+    return groups
+
+
 def _statevector_batch(job: Job, batch: Batch) -> BatchStats:
+    rng = batch_rng(job.seed, batch.index)
+    kernel_rng = np.random.default_rng(int(rng.integers(2**63)))
+    noise = job.noise if job.noise is not None and not job.noise.is_noiseless else None
+    gate_noise = noise is not None and noise.has_gate_noise
+
+    compile_start = time.perf_counter()
+    program = get_compiled(job.circuit, gate_noise=gate_noise)
+    compile_time = time.perf_counter() - compile_start
+
+    stats = BatchStats(index=batch.index, shots=batch.shots, compile_time=compile_time)
+    execute_start = time.perf_counter()
+    if job.ensembles:
+        for initial_state, count in _ensemble_groups(job, batch.shots, rng):
+            result = run_batched(
+                program, count, kernel_rng, noise=noise, initial_state=initial_state
+            )
+            _accumulate_matrix(stats, result.clbits, job)
+    else:
+        result = run_batched(
+            program,
+            batch.shots,
+            kernel_rng,
+            noise=noise,
+            initial_state=job.initial_state,
+        )
+        _accumulate_matrix(stats, result.clbits, job)
+    stats.execute_time = time.perf_counter() - execute_start
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Per-shot reference backend (cross-validation)
+# ----------------------------------------------------------------------
+def _statevector_ref_batch(job: Job, batch: Batch) -> BatchStats:
     rng = batch_rng(job.seed, batch.index)
     simulator = StatevectorSimulator(seed=int(rng.integers(2**63)), noise=job.noise)
     stats = BatchStats(index=batch.index, shots=batch.shots)
+    execute_start = time.perf_counter()
     for _ in range(batch.shots):
         init = _sample_initial_state(job, rng)
         result = simulator.run(job.circuit, initial_state=init)
         _accumulate(stats, result.clbits, job)
+    stats.execute_time = time.perf_counter() - execute_start
     return stats
 
 
 def _tableau_batch(job: Job, batch: Batch) -> BatchStats:
     rng = batch_rng(job.seed, batch.index)
     stats = BatchStats(index=batch.index, shots=batch.shots)
+    execute_start = time.perf_counter()
     for _ in range(batch.shots):
         simulator = TableauSimulator(job.circuit.num_qubits, seed=rng)
         clbits = simulator.run(job.circuit)
         _accumulate(stats, clbits, job)
+    stats.execute_time = time.perf_counter() - execute_start
     return stats
 
 
@@ -123,21 +231,31 @@ def _pauliframe_batch(job: Job, batch: Batch) -> BatchStats:
     simulator = PauliFrameSimulator(
         job.circuit, job.noise, seed=int(rng.integers(2**63))
     )
+    execute_start = time.perf_counter()
     counts = simulator.sample_error_distribution(list(job.frame_qubits), batch.shots)
-    return BatchStats(index=batch.index, shots=batch.shots, counts=Counter(counts))
+    return BatchStats(
+        index=batch.index,
+        shots=batch.shots,
+        counts=Counter(counts),
+        execute_time=time.perf_counter() - execute_start,
+    )
 
 
 def _density_batch(job: Job, batch: Batch) -> BatchStats:
     if job.ensembles:
         raise ValueError("exact mode takes a fixed initial state, not ensembles")
     simulator = DensitySimulator(noise=job.noise)
+    execute_start = time.perf_counter()
     result = simulator.run(job.circuit, initial_state=job.initial_state)
     probabilities = {
         "".join(str(b) for b in bits): p
         for bits, p in result.branch_probabilities().items()
     }
     stats = BatchStats(
-        index=batch.index, shots=batch.shots, probabilities=probabilities
+        index=batch.index,
+        shots=batch.shots,
+        probabilities=probabilities,
+        execute_time=time.perf_counter() - execute_start,
     )
     if job.readout:
         mean = 0.0

@@ -1,5 +1,16 @@
-"""Simulators: statevector, density matrix, stabilizer tableau, Pauli frame."""
+"""Simulators: statevector (per-shot reference + vectorized batch kernel),
+density matrix, stabilizer tableau, Pauli frame — plus the circuit compiler
+that lowers the IR into frozen, executable programs."""
 
+from .batched import BatchRunResult, run_batched
+from .compile import (
+    CircuitCapabilities,
+    CompiledProgram,
+    analyze_circuit,
+    compile_circuit,
+    get_capabilities,
+    get_compiled,
+)
 from .density import DensityResult, DensitySimulator
 from .noisemodel import NoiseModel, depolarizing_kraus
 from .pauli import Pauli
@@ -8,6 +19,14 @@ from .statevector import StatevectorSimulator, TrajectoryResult, simulate_statev
 from .tableau import TableauSimulator
 
 __all__ = [
+    "BatchRunResult",
+    "run_batched",
+    "CircuitCapabilities",
+    "CompiledProgram",
+    "analyze_circuit",
+    "compile_circuit",
+    "get_capabilities",
+    "get_compiled",
     "DensityResult",
     "DensitySimulator",
     "NoiseModel",

@@ -1,0 +1,336 @@
+"""Circuit compilation: lower the IR into frozen, executable programs.
+
+The per-shot interpreters re-derive gate matrices, re-scan for Clifford-ness,
+and re-walk the instruction list for every trajectory.  This module does all
+of that exactly once per circuit:
+
+* every gate matrix is resolved up front;
+* runs of unconditional gates are **fused** into segment unitaries (bounded
+  support, so the fused matrices stay tiny) when no gate noise is active;
+* the program records where its **stochastic sites** are — measurements,
+  resets, conditioned gates, and (with gate noise) fault-injection points —
+  which delimit the deterministic prefix the batched kernel can evolve once
+  and share across a whole batch of shots;
+* **capability flags** (Clifford-ness, frame compatibility, measurement
+  census) are computed once so the backend router never re-scans the IR.
+
+Programs are cached per process, keyed by the circuit's content digest, so
+repeated jobs over the same circuit (the normal engine workload) compile
+exactly once per worker.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+
+import numpy as np
+
+from ..circuits.circuit import Circuit, Condition
+from ..circuits.gates import GATES, cached_gate_matrix, gate_matrix
+from ..utils.linalg import embed_operator
+
+__all__ = [
+    "CircuitCapabilities",
+    "CompiledOp",
+    "CompiledProgram",
+    "analyze_circuit",
+    "compile_circuit",
+    "get_capabilities",
+    "get_compiled",
+    "compile_cache_stats",
+    "clear_compile_cache",
+]
+
+#: Largest qubit support of a fused segment unitary (matrices stay <= 8x8).
+FUSION_MAX_QUBITS = 3
+
+#: Gate names allowed under a classical condition by the frame simulator.
+_PAULI_FEEDBACK = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class CircuitCapabilities:
+    """What a circuit needs from a simulator, computed in one scan."""
+
+    num_qubits: int
+    num_clbits: int
+    is_clifford: bool
+    is_frame_compatible: bool
+    num_measurements: int
+    has_reset: bool
+    has_conditional: bool
+
+    @property
+    def is_deterministic(self) -> bool:
+        """No measurement, reset, or feedback: one trajectory fits all shots."""
+        return (
+            self.num_measurements == 0
+            and not self.has_reset
+            and not self.has_conditional
+        )
+
+
+@dataclass(frozen=True)
+class CompiledOp:
+    """One executable step: a (possibly fused) unitary, measure, or reset.
+
+    ``kind`` is ``"unitary"``, ``"measure"``, or ``"reset"``.  A unitary op
+    with ``sample_fault=True`` is a stochastic Pauli-fault site: the kernel
+    draws a depolarizing fault over ``qubits`` after applying the matrix
+    (compiled only when gate noise is active, which also disables fusion so
+    every fault site matches one source gate).
+    """
+
+    kind: str
+    qubits: tuple[int, ...]
+    matrix: np.ndarray | None = None
+    clbit: int = -1
+    condition: Condition | None = None
+    sample_fault: bool = False
+
+    @property
+    def is_stochastic(self) -> bool:
+        """Whether executing this op can diverge across shots."""
+        return (
+            self.kind != "unitary"
+            or self.condition is not None
+            or self.sample_fault
+        )
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A frozen, directly executable lowering of one circuit.
+
+    ``prefix_len`` counts the leading deterministic ops: with a shared input
+    state the kernel evolves them on a single statevector and broadcasts to
+    the batch only at the first stochastic site.
+    """
+
+    num_qubits: int
+    num_clbits: int
+    ops: tuple[CompiledOp, ...]
+    capabilities: CircuitCapabilities
+    gate_noise: bool
+    prefix_len: int
+    source_ops: int
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension."""
+        return 2**self.num_qubits
+
+
+def analyze_circuit(circuit: Circuit) -> CircuitCapabilities:
+    """One-pass capability scan (no matrix work)."""
+    is_clifford = True
+    is_frame_compatible = True
+    num_measurements = 0
+    has_reset = False
+    has_conditional = False
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        if inst.name == "measure":
+            num_measurements += 1
+            if inst.condition is not None:
+                has_conditional = True
+            continue
+        if inst.name == "reset":
+            has_reset = True
+            if inst.condition is not None:
+                has_conditional = True
+            continue
+        if inst.condition is not None:
+            has_conditional = True
+            if inst.name not in _PAULI_FEEDBACK:
+                is_frame_compatible = False
+        if not GATES[inst.name].clifford:
+            is_clifford = False
+            is_frame_compatible = False
+    return CircuitCapabilities(
+        num_qubits=circuit.num_qubits,
+        num_clbits=circuit.num_clbits,
+        is_clifford=is_clifford,
+        is_frame_compatible=is_frame_compatible,
+        num_measurements=num_measurements,
+        has_reset=has_reset,
+        has_conditional=has_conditional,
+    )
+
+
+def _resolve_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
+    if params:
+        return gate_matrix(name, params)
+    return cached_gate_matrix(name)
+
+
+def _fuse_group(gates: list[tuple[np.ndarray, tuple[int, ...]]]) -> CompiledOp:
+    """Collapse a run of unconditional gates into one segment unitary."""
+    if len(gates) == 1:
+        matrix, qubits = gates[0]
+        return CompiledOp(kind="unitary", qubits=qubits, matrix=matrix)
+    support = sorted({q for _, qs in gates for q in qs})
+    width = len(support)
+    position = {q: i for i, q in enumerate(support)}
+    fused = np.eye(2**width, dtype=complex)
+    for matrix, qubits in gates:
+        fused = embed_operator(matrix, [position[q] for q in qubits], width) @ fused
+    return CompiledOp(kind="unitary", qubits=tuple(support), matrix=fused)
+
+
+def compile_circuit(
+    circuit: Circuit, gate_noise: bool = False, fuse: bool = True
+) -> CompiledProgram:
+    """Lower ``circuit`` into a :class:`CompiledProgram`.
+
+    ``gate_noise=True`` compiles for execution under a stochastic Pauli
+    noise model: every gate becomes its own fault site (no fusion, so the
+    kernel can draw one depolarizing fault per source gate, exactly like the
+    reference interpreter).
+    """
+    ops: list[CompiledOp] = []
+    pending: list[tuple[np.ndarray, tuple[int, ...]]] = []
+    pending_support: set[int] = set()
+    source_ops = 0
+
+    def flush() -> None:
+        if pending:
+            ops.append(_fuse_group(pending))
+            pending.clear()
+            pending_support.clear()
+
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        source_ops += 1
+        if inst.name == "measure":
+            flush()
+            ops.append(
+                CompiledOp(
+                    kind="measure",
+                    qubits=inst.qubits,
+                    clbit=inst.clbits[0],
+                    condition=inst.condition,
+                )
+            )
+            continue
+        if inst.name == "reset":
+            flush()
+            ops.append(
+                CompiledOp(
+                    kind="reset", qubits=inst.qubits, condition=inst.condition
+                )
+            )
+            continue
+        matrix = _resolve_matrix(inst.name, inst.params)
+        if inst.condition is not None or gate_noise:
+            flush()
+            ops.append(
+                CompiledOp(
+                    kind="unitary",
+                    qubits=inst.qubits,
+                    matrix=matrix,
+                    condition=inst.condition,
+                    sample_fault=gate_noise,
+                )
+            )
+            continue
+        if not fuse:
+            ops.append(CompiledOp(kind="unitary", qubits=inst.qubits, matrix=matrix))
+            continue
+        union = pending_support | set(inst.qubits)
+        if pending and len(union) > FUSION_MAX_QUBITS:
+            flush()
+            union = set(inst.qubits)
+        pending.append((matrix, inst.qubits))
+        pending_support.update(union)
+    flush()
+
+    prefix_len = 0
+    for op in ops:
+        if op.is_stochastic:
+            break
+        prefix_len += 1
+
+    return CompiledProgram(
+        num_qubits=circuit.num_qubits,
+        num_clbits=circuit.num_clbits,
+        ops=tuple(ops),
+        capabilities=analyze_circuit(circuit),
+        gate_noise=gate_noise,
+        prefix_len=prefix_len,
+        source_ops=source_ops,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-process caches
+# ----------------------------------------------------------------------
+_CACHE_MAX = 256
+
+_program_cache: OrderedDict[tuple[bytes, bool], CompiledProgram] = OrderedDict()
+_caps_cache: OrderedDict[bytes, CircuitCapabilities] = OrderedDict()
+_cache_lock = Lock()
+_stats = {"compiles": 0, "hits": 0, "compile_time": 0.0}
+
+
+def get_compiled(circuit: Circuit, gate_noise: bool = False) -> CompiledProgram:
+    """Compile-once accessor, keyed by the circuit's content digest.
+
+    Thread-safe; the cache is per process, so every pool worker compiles a
+    given circuit at most once no matter how many batches it executes.
+    """
+    key = (circuit.content_digest(), gate_noise)
+    with _cache_lock:
+        program = _program_cache.get(key)
+        if program is not None:
+            _program_cache.move_to_end(key)
+            _stats["hits"] += 1
+            return program
+    start = time.perf_counter()
+    program = compile_circuit(circuit, gate_noise=gate_noise)
+    elapsed = time.perf_counter() - start
+    with _cache_lock:
+        _stats["compiles"] += 1
+        _stats["compile_time"] += elapsed
+        _program_cache[key] = program
+        _caps_cache[key[0]] = program.capabilities
+        while len(_program_cache) > _CACHE_MAX:
+            _program_cache.popitem(last=False)
+        while len(_caps_cache) > _CACHE_MAX:
+            _caps_cache.popitem(last=False)
+    return program
+
+
+def get_capabilities(circuit: Circuit) -> CircuitCapabilities:
+    """Cached capability flags (scan only; no matrices are resolved)."""
+    key = circuit.content_digest()
+    with _cache_lock:
+        caps = _caps_cache.get(key)
+        if caps is not None:
+            _caps_cache.move_to_end(key)
+            return caps
+    caps = analyze_circuit(circuit)
+    with _cache_lock:
+        _caps_cache[key] = caps
+        while len(_caps_cache) > _CACHE_MAX:
+            _caps_cache.popitem(last=False)
+    return caps
+
+
+def compile_cache_stats() -> dict:
+    """Snapshot of the process-wide compile cache counters."""
+    with _cache_lock:
+        return dict(_stats, cached_programs=len(_program_cache))
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached programs and reset counters (tests only)."""
+    with _cache_lock:
+        _program_cache.clear()
+        _caps_cache.clear()
+        _stats.update({"compiles": 0, "hits": 0, "compile_time": 0.0})

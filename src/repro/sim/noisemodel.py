@@ -74,6 +74,12 @@ class NoiseModel:
         """Whether every rate is exactly zero."""
         return self.p1 == 0.0 and self.p2 == 0.0 and self.p_meas == 0.0
 
+    @property
+    def has_gate_noise(self) -> bool:
+        """Whether gates suffer stochastic faults (compile-relevant: fault
+        sites disable fusion, readout flips alone do not)."""
+        return self.p1 > 0.0 or self.p2 > 0.0
+
     def gate_error_rate(self, num_qubits: int) -> float:
         """Depolarizing rate applied after a gate of the given arity."""
         if num_qubits <= 0:

@@ -5,6 +5,15 @@ stochastic trajectory per shot, collapsing on measurement, honouring resets
 and parity-conditioned feedback.  Measurement outcomes land in a classical
 register that conditions later gates.
 
+:meth:`StatevectorSimulator.run` is the repository's **per-shot reference
+interpreter**: it walks the IR instruction by instruction and is the ground
+truth the vectorized batch kernel (:mod:`repro.sim.batched`) is
+cross-validated against.  Multi-shot sampling
+(:meth:`StatevectorSimulator.sample_counts`) is a thin wrapper over that
+kernel — circuits are compiled once (:mod:`repro.sim.compile`) and whole
+batches evolve as one ``(shots, 2**n)`` array.  The engine exposes the
+per-shot path as ``backend="statevector-ref"``.
+
 Qubit 0 is the most significant bit of basis-state indices (big-endian),
 matching :mod:`repro.utils.bits`.
 """
@@ -18,7 +27,9 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import gate_matrix
+from ..circuits.gates import cached_gate_matrix, gate_matrix
+from .batched import run_batched
+from .compile import get_compiled
 from .noisemodel import PAULI_MATRICES, NoiseModel
 
 __all__ = ["TrajectoryResult", "StatevectorSimulator", "apply_gate", "simulate_statevector"]
@@ -62,14 +73,26 @@ def _probability_zero(state: np.ndarray, qubit: int, num_qubits: int) -> float:
 
 
 def _collapse(state: np.ndarray, qubit: int, outcome: int, num_qubits: int) -> np.ndarray:
-    tensor = state.reshape([2] * num_qubits).copy()
-    moved = np.moveaxis(tensor, qubit, 0)
+    """Project ``qubit`` onto ``outcome`` and renormalise, **in place**.
+
+    Mutates (and returns) ``state``: the dead branch is zeroed through a
+    moved-axis view of the caller's array — no full-tensor copy.  Callers
+    own the trajectory state they pass in.
+    """
+    moved = np.moveaxis(state.reshape([2] * num_qubits), qubit, 0)
     moved[1 - outcome] = 0.0
-    flat = tensor.reshape(-1)
-    norm = np.linalg.norm(flat)
+    norm = np.linalg.norm(state)
     if norm < 1e-15:
         raise RuntimeError("collapse onto zero-probability branch")
-    return flat / norm
+    state /= norm
+    return state
+
+
+def _matrix_for(name: str, params: tuple[float, ...]) -> np.ndarray:
+    """Gate matrix with memoised lookups for the parameterless majority."""
+    if params:
+        return gate_matrix(name, params)
+    return cached_gate_matrix(name)
 
 
 class StatevectorSimulator:
@@ -92,12 +115,23 @@ class StatevectorSimulator:
         initial_state: np.ndarray | None = None,
         forced_outcomes: Sequence[int] | None = None,
     ) -> TrajectoryResult:
-        """Run one trajectory.
+        """Run one trajectory through the per-shot reference interpreter.
 
-        ``initial_state`` defaults to |0...0>.  ``forced_outcomes``, if given,
-        supplies measurement outcomes in program order (useful for exhaustive
-        branch enumeration in tests); outcomes with zero probability raise.
+        ``initial_state`` defaults to |0...0>.  ``forced_outcomes``, if
+        given, supplies collapse outcomes for **both measure and reset
+        sites, consumed in program order** (one value per site, useful for
+        exhaustive branch enumeration in tests); outcomes with zero
+        probability raise.
         """
+        return self._run_trajectory(circuit, initial_state, forced_outcomes, self.noise)
+
+    def _run_trajectory(
+        self,
+        circuit: Circuit,
+        initial_state: np.ndarray | None,
+        forced_outcomes: Sequence[int] | None,
+        noise: NoiseModel | None,
+    ) -> TrajectoryResult:
         num_qubits = circuit.num_qubits
         if initial_state is None:
             state = np.zeros(2**num_qubits, dtype=complex)
@@ -124,7 +158,7 @@ class StatevectorSimulator:
                     outcome = 0 if self.rng.random() < p0 else 1
                 state = _collapse(state, qubit, outcome, num_qubits)
                 recorded = outcome
-                if self.noise is not None and self.noise.sample_measurement_flip(self.rng):
+                if noise is not None and noise.sample_measurement_flip(self.rng):
                     recorded ^= 1
                 clbits[clbit] = recorded
                 measurements.append((qubit, clbit, recorded))
@@ -132,15 +166,18 @@ class StatevectorSimulator:
             if inst.name == "reset":
                 qubit = inst.qubits[0]
                 p0 = _probability_zero(state, qubit, num_qubits)
-                outcome = 0 if self.rng.random() < p0 else 1
+                if forced_iter is not None:
+                    outcome = next(forced_iter)
+                else:
+                    outcome = 0 if self.rng.random() < p0 else 1
                 state = _collapse(state, qubit, outcome, num_qubits)
                 if outcome == 1:
-                    state = apply_gate(state, gate_matrix("x"), [qubit], num_qubits)
+                    state = apply_gate(state, cached_gate_matrix("x"), [qubit], num_qubits)
                 continue
-            matrix = gate_matrix(inst.name, inst.params)
+            matrix = _matrix_for(inst.name, inst.params)
             state = apply_gate(state, matrix, inst.qubits, num_qubits)
-            if self.noise is not None:
-                for fault_qubit, pauli in self.noise.sample_gate_fault(
+            if noise is not None:
+                for fault_qubit, pauli in noise.sample_gate_fault(
                     inst.qubits, self.rng
                 ):
                     state = apply_gate(
@@ -155,12 +192,18 @@ class StatevectorSimulator:
         shots: int,
         initial_state: np.ndarray | None = None,
     ) -> Counter:
-        """Histogram of classical-register strings over ``shots`` trajectories."""
-        counts: Counter = Counter()
-        for _ in range(shots):
-            result = self.run(circuit, initial_state=initial_state)
-            counts[result.clbit_string()] += 1
-        return counts
+        """Histogram of classical-register strings over ``shots`` trajectories.
+
+        Thin wrapper over the vectorized batch kernel: the circuit is
+        compiled once (cached per process) and all shots evolve together as
+        a ``(shots, 2**n)`` array.
+        """
+        gate_noise = self.noise is not None and self.noise.has_gate_noise
+        program = get_compiled(circuit, gate_noise=gate_noise)
+        result = run_batched(
+            program, shots, self.rng, noise=self.noise, initial_state=initial_state
+        )
+        return Counter(result.clbit_strings())
 
     # ------------------------------------------------------------------
     def expectation(
@@ -172,11 +215,14 @@ class StatevectorSimulator:
     ) -> complex:
         """<final| O |final> for a measurement-free circuit.
 
-        ``observable`` acts on the listed qubits.
+        ``observable`` acts on the listed qubits.  The simulator's noise
+        model is **bypassed**: an expectation value is an exact, deterministic
+        quantity, and injecting stochastic faults here would silently turn it
+        into a one-sample estimate.
         """
         if circuit.num_measurements():
             raise ValueError("expectation requires a measurement-free circuit")
-        result = self.run(circuit, initial_state=initial_state)
+        result = self._run_trajectory(circuit, initial_state, None, None)
         state = result.statevector
         expanded = apply_gate(state.copy(), observable, list(qubits), circuit.num_qubits)
         return complex(np.vdot(state, expanded))

@@ -86,6 +86,25 @@ class TestMeasurement:
         with pytest.raises(RuntimeError):
             StatevectorSimulator(seed=5).run(c, forced_outcomes=[1])
 
+    def test_forced_outcomes_cover_resets(self):
+        # Forcing consumes one outcome per collapse site — measure AND
+        # reset — in program order.
+        c = Circuit(1, 0).h(0).reset(0)
+        for branch in (0, 1):
+            result = StatevectorSimulator(seed=5).run(c, forced_outcomes=[branch])
+            assert abs(result.statevector[0]) > 0.999  # reset always ends in |0>
+
+    def test_forced_reset_ordering_after_measure(self):
+        # Program order: measure q0 (site 1), then reset q0 (site 2).  After
+        # forcing the measurement onto |1>, the reset's collapse must also be
+        # forceable — only the 1 branch has support.
+        c = Circuit(1, 1).h(0).measure(0, 0).reset(0)
+        result = StatevectorSimulator(seed=5).run(c, forced_outcomes=[1, 1])
+        assert result.clbits == [1]
+        assert abs(result.statevector[0]) > 0.999
+        with pytest.raises(RuntimeError):
+            StatevectorSimulator(seed=5).run(c, forced_outcomes=[1, 0])
+
 
 class TestResetAndFeedback:
     def test_reset_to_zero(self):
@@ -134,6 +153,18 @@ class TestExpectationAndHelpers:
         c = Circuit(1, 1).measure(0, 0)
         with pytest.raises(ValueError):
             StatevectorSimulator().expectation(c, np.eye(2), [0])
+
+    def test_expectation_bypasses_noise(self):
+        # Regression: an "exact" expectation must not sample stochastic
+        # faults from the simulator's noise model.
+        z = np.diag([1, -1]).astype(complex)
+        c = Circuit(1)
+        for _ in range(20):
+            c.x(0)
+            c.x(0)
+        noisy = StatevectorSimulator(seed=13, noise=NoiseModel(p1=0.5, p2=0.5, p_meas=0.5))
+        values = [noisy.expectation(c, z, [0]) for _ in range(5)]
+        assert all(abs(v - 1.0) < 1e-12 for v in values)  # deterministic and exact
 
     def test_simulate_statevector_wrapper(self):
         out = simulate_statevector(Circuit(2).h(0).cx(0, 1))
