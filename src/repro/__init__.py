@@ -59,6 +59,7 @@ _LAZY_EXPORTS = {
     "ProtocolSpec": ("repro.api", "ProtocolSpec"),
     "NoiseSpec": ("repro.api", "NoiseSpec"),
     "NetworkSpec": ("repro.api", "NetworkSpec"),
+    "QpuSpec": ("repro.api", "QpuSpec"),
     "RunOptions": ("repro.api", "RunOptions"),
     "SweepResult": ("repro.api", "SweepResult"),
     # Legacy protocol entry points (deprecated wrappers).

@@ -1,4 +1,5 @@
-"""Evaluation-section analyses: Table 4, Figures 9a/9b/9c, Figure 10."""
+"""Evaluation-section analyses: Table 4, Figures 9a/9b/9c, Figure 10,
+plus the physical-network link-infidelity extension."""
 
 from .blackbox import BlackboxCircuit, ErrorSampler, PrimitiveErrorModel
 from .cswap_fidelity import (
@@ -21,6 +22,13 @@ from .ghz_fidelity import (
     ghz_fidelity_frames,
     ghz_fidelity_sweep,
     sample_ghz_fidelity_frames,
+)
+from .link_noise import (
+    advantage_curve,
+    crossover_link_rate,
+    event_fidelity_floor,
+    protocol_fidelity_bound,
+    scheme_fidelity_bound,
 )
 from .network import (
     DISTILLATION_CODES,
@@ -62,6 +70,11 @@ __all__ = [
     "ghz_fidelity_frames",
     "ghz_fidelity_sweep",
     "sample_ghz_fidelity_frames",
+    "advantage_curve",
+    "crossover_link_rate",
+    "event_fidelity_floor",
+    "protocol_fidelity_bound",
+    "scheme_fidelity_bound",
     "DISTILLATION_CODES",
     "QECCode",
     "bell_pair_depolarized",

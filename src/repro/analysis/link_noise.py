@@ -1,0 +1,141 @@
+"""Link-infidelity analysis: how COMPAS's advantage degrades with hop noise.
+
+Extends the Sec 5.5 / Fig 10 per-teleoperation bounds
+(:mod:`repro.analysis.network`) to the *physical* network model: each
+recorded Bell event of a built protocol (hop distance, purpose) contributes
+the Appendix-B fidelity floor of its teleoperation kind, evaluated at the
+**hop-weighted** link error rate of a :class:`~repro.api.NetworkSpec` —
+
+* data teleportation (teledata moves, naive redistribution):
+  ``F >= 1 - r/2``,
+* cat-mediated gates (telegate CNOT/Toffoli layers, GHZ fusion links):
+  ``F >= 1 - 3r/4``,
+
+with ``r = 1 - (1 - p_link)^h (1 - p_swap)^(h-1)`` for an ``h``-hop pair.
+Multiplying floors over every event of the lowered program bounds the whole
+protocol, so COMPAS and the naive redistribution can be compared on the
+same physical network.  Because the naive scheme concentrates long-range
+(multi-hop) events whose error rate *saturates* with ``h`` while COMPAS
+spends many short-range events, the two bounds can cross as ``p_link``
+grows — :func:`crossover_link_rate` locates that point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..core.compas import build_compas
+from ..core.naive import build_naive_distribution
+from ..network.bell import BellEvent
+from ..network.topology import Topology
+
+__all__ = [
+    "event_fidelity_floor",
+    "protocol_fidelity_bound",
+    "scheme_fidelity_bound",
+    "advantage_curve",
+    "crossover_link_rate",
+]
+
+#: Bell-event purposes that are data teleportations (floor 1 - r/2); every
+#: other purpose is a cat-mediated gate (floor 1 - 3r/4).
+_TELEPORT_PURPOSES = ("teledata-in", "teledata-out", "naive-redistribute")
+
+
+def _link_rate(network, hops: int) -> float:
+    """Hop-weighted pair error rate from a NetworkSpec-like object."""
+    return network.link_error_rate(hops)
+
+
+def event_fidelity_floor(event: BellEvent, network) -> float:
+    """Appendix-B worst-case fidelity of one teleoperation on noisy links."""
+    rate = _link_rate(network, event.hops)
+    if event.purpose in _TELEPORT_PURPOSES:
+        return max(1.0 - 0.5 * rate, 0.0)
+    return max(1.0 - 0.75 * rate, 0.0)
+
+
+def protocol_fidelity_bound(events: Iterable[BellEvent], network) -> float:
+    """Product of per-event floors: a lower bound on the whole protocol."""
+    bound = 1.0
+    for event in events:
+        bound *= event_fidelity_floor(event, network)
+    return bound
+
+
+def scheme_fidelity_bound(
+    scheme: str,
+    n: int,
+    k: int,
+    network,
+    topology: Topology | None = None,
+) -> float:
+    """Build one scheme and bound its fidelity on the given network.
+
+    ``scheme`` is ``"teledata"`` / ``"telegate"`` (COMPAS designs) or
+    ``"naive"``; ``network`` is a :class:`~repro.api.NetworkSpec` (anything
+    with ``link_error_rate``).  The bound multiplies the floor of every
+    Bell event the built circuit actually records.
+    """
+    if scheme == "naive":
+        build = build_naive_distribution(k, n, basis="x", topology=topology)
+    else:
+        build = build_compas(k, n, design=scheme, basis="x", topology=topology)
+    return protocol_fidelity_bound(build.program.ledger.events, network)
+
+
+def advantage_curve(
+    n: int,
+    k: int,
+    p_links: Sequence[float],
+    design: str = "teledata",
+    topology: Topology | None = None,
+) -> list[dict]:
+    """COMPAS-vs-naive fidelity bounds across a link-noise sweep.
+
+    One row per ``p_link`` with both bounds and their ratio (> 1 means
+    COMPAS wins).  Builds each scheme once and re-evaluates the recorded
+    events, so the sweep costs no circuit reconstruction.
+    """
+    from ..api.specs import NetworkSpec
+
+    compas_build = build_compas(k, n, design=design, basis="x", topology=topology)
+    naive_build = build_naive_distribution(k, n, basis="x", topology=topology)
+    rows = []
+    for p_link in p_links:
+        network = NetworkSpec(link_depolarizing=float(p_link))
+        compas_bound = protocol_fidelity_bound(
+            compas_build.program.ledger.events, network
+        )
+        naive_bound = protocol_fidelity_bound(naive_build.program.ledger.events, network)
+        rows.append(
+            {
+                "p_link": float(p_link),
+                "compas_bound": compas_bound,
+                "naive_bound": naive_bound,
+                "advantage": compas_bound / naive_bound if naive_bound > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+def crossover_link_rate(
+    n: int,
+    k: int,
+    design: str = "teledata",
+    topology: Topology | None = None,
+    grid: Sequence[float] | None = None,
+) -> float | None:
+    """Smallest swept ``p_link`` where COMPAS's bound falls below naive's.
+
+    Returns ``None`` when COMPAS keeps its advantage over the whole grid
+    (default: 200 points up to 0.5).  The crossover exists because naive's
+    few long-range events saturate with hop count while COMPAS's many
+    short-range events keep compounding.
+    """
+    if grid is None:
+        grid = [i / 400.0 for i in range(1, 201)]
+    for row in advantage_curve(n, k, grid, design=design, topology=topology):
+        if row["advantage"] < 1.0:
+            return row["p_link"]
+    return None

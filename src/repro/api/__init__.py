@@ -27,6 +27,7 @@ from .specs import (
     NetworkSpec,
     NoiseSpec,
     ProtocolSpec,
+    QpuSpec,
     RunOptions,
     fresh_seed,
     stable_hash,
@@ -46,6 +47,7 @@ __all__ = [
     "NetworkSpec",
     "NoiseSpec",
     "ProtocolSpec",
+    "QpuSpec",
     "RunOptions",
     "SweepResult",
     "fresh_seed",

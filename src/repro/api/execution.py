@@ -65,6 +65,7 @@ def run_multiparty_swap_test(
     design: str = "teledata",
     observable: str | None = None,
     topology=None,
+    network=None,
     batch_size: int | None = None,
 ) -> MultivariateTraceResult:
     """Estimate tr(rho_1 ... rho_k); the engine-level implementation.
@@ -76,6 +77,13 @@ def run_multiparty_swap_test(
     :func:`repro.core.multiparty_swap_test` wrapper, ``seed`` and
     ``engine`` are required here — resolution and engine construction are
     the API layer's job.
+
+    ``network`` (a :class:`~repro.api.NetworkSpec`) makes the distributed
+    backend physical: it supplies the topology, composes hop-weighted link
+    noise and per-QPU overrides into the job noise model, and its
+    ``bell_latency`` weights the measured latency accounting.  ``topology``
+    (a pre-built :class:`~repro.network.Topology`) overrides the network's
+    topology when both are given.
     """
     states = [np.asarray(s, dtype=complex) for s in states]
     k = len(states)
@@ -94,6 +102,11 @@ def run_multiparty_swap_test(
     shots_im = shots - shots_re
 
     if backend == "monolithic":
+        if network is not None and not network.is_ideal:
+            raise ValueError(
+                "a physical network (nonzero link noise or QPU overrides) requires "
+                "backend='compas'; the monolithic builder has no links to degrade"
+            )
         build_x = build_monolithic_swap_test(
             k, n, variant=variant, basis="x", ghz_mode=ghz_mode, observable=observable
         )
@@ -108,10 +121,21 @@ def run_multiparty_swap_test(
             "stage_depths": build_x.stage_depths,
         }
     elif backend == "compas":
+        if network is not None:
+            network.validate()
+            if topology is None:
+                topology = network.build([f"qpu{p}" for p in range(k)])
+            else:
+                network.check_overrides(topology.nodes)
+            noise = network.noise_model(noise)
         build_x = build_compas(k, n, design=design, basis="x", topology=topology)
         build_y = build_compas(k, n, design=design, basis="y", topology=topology)
         label = f"compas-{design}"
         resources = {"backend": backend, **build_x.resources()}
+        bell_latency = network.bell_latency if network is not None else 1.0
+        resources["lowered"] = build_x.lowered(bell_latency=bell_latency).summary()
+        if network is not None:
+            resources["network"] = asdict(network)
     else:
         raise ValueError("backend must be 'monolithic' or 'compas'")
 
@@ -148,10 +172,7 @@ def run_multiparty_swap_test(
 def _swap_kwargs(experiment) -> dict:
     """Protocol/noise/network fields of an experiment as runner kwargs."""
     protocol = experiment.protocol
-    topology = None
-    if protocol.backend == "compas" and experiment.network.topology != "line":
-        k = protocol.k or 0
-        topology = experiment.network.build([f"qpu{p}" for p in range(k)])
+    network = experiment.network if protocol.backend == "compas" else None
     return {
         "variant": protocol.variant,
         "noise": experiment.noise.to_model(),
@@ -159,7 +180,7 @@ def _swap_kwargs(experiment) -> dict:
         "backend": protocol.backend,
         "design": protocol.design,
         "observable": protocol.observable,
-        "topology": topology,
+        "network": network,
         "batch_size": experiment.options.batch_size,
     }
 

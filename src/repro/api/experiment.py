@@ -99,6 +99,12 @@ class Experiment:
         self.protocol.validate()
         self.noise.validate()
         self.network.validate()
+        if not self.network.is_ideal and self.protocol.backend != "compas":
+            raise ValueError(
+                "a physical network (nonzero link noise or QPU overrides) requires "
+                f"backend='compas'; backend={self.protocol.backend!r} would silently "
+                "ignore it"
+            )
         self.options.validate()
         _PAYLOAD_VALIDATORS[self.kind](self)
 
@@ -233,10 +239,16 @@ class Experiment:
         observable: str | None = None,
         noise=None,
         topology: str = "line",
+        network: NetworkSpec | None = None,
         workers: int = 1,
         cache: bool | str = False,
     ) -> "Experiment":
-        """The front door: estimate tr(rho_1 ... rho_k) on ``states``."""
+        """The front door: estimate tr(rho_1 ... rho_k) on ``states``.
+
+        ``network`` supplies the full physical model (link noise, swap
+        penalty, Bell latency, per-QPU overrides); ``topology`` is the
+        ideal-network shorthand used when ``network`` is omitted.
+        """
         states = _as_states(states)
         experiment = cls(
             kind="swap_test",
@@ -250,7 +262,7 @@ class Experiment:
                 observable=observable,
             ),
             noise=_as_noise(noise),
-            network=NetworkSpec(topology=topology),
+            network=network if network is not None else NetworkSpec(topology=topology),
             options=RunOptions(shots=shots, seed=seed, workers=workers, cache=cache),
         )
         experiment.validate()

@@ -36,13 +36,14 @@ import numpy as np
 from ..core.cswap import DESIGNS
 from ..core.swap_test import VARIANTS
 from ..engine import Engine
+from ..network.qpu import validate_qpu_names
 from ..network.topology import (
     complete_topology,
     line_topology,
     ring_topology,
     star_topology,
 )
-from ..sim.noisemodel import NoiseModel
+from ..sim.noisemodel import NoiseModel, QpuNoiseOverride
 
 __all__ = [
     "BACKENDS",
@@ -52,6 +53,7 @@ __all__ = [
     "NetworkSpec",
     "NoiseSpec",
     "ProtocolSpec",
+    "QpuSpec",
     "RunOptions",
     "fresh_seed",
     "stable_hash",
@@ -211,23 +213,168 @@ class NoiseSpec:
 
 
 @dataclass(frozen=True)
+class QpuSpec:
+    """Heterogeneous-QPU noise overrides for one named processor.
+
+    ``None`` fields inherit the experiment's homogeneous
+    :class:`NoiseSpec` rates.
+    """
+
+    name: str
+    p1: float | None = None
+    p2: float | None = None
+    p_meas: float | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"QPU override needs a non-empty string name, got {self.name!r}")
+        for field_name, rate in (("p1", self.p1), ("p2", self.p2), ("p_meas", self.p_meas)):
+            if rate is not None and not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"QPU override rate {field_name} for {self.name!r} must be in [0, 1]"
+                )
+
+
+@dataclass(frozen=True)
 class NetworkSpec:
-    """QPU interconnect for distributed backends (``backend="compas"``)."""
+    """Physical model of the QPU interconnect (``backend="compas"``).
+
+    Beyond the topology name, the spec models the *quality* of the network:
+
+    * ``link_depolarizing`` — two-qubit depolarizing rate suffered by a
+      Bell pair per nearest-neighbour link it crosses (Eq. 6's noisy-pair
+      model, hop-weighted);
+    * ``swap_penalty`` — extra depolarizing per entanglement-swapping
+      station (an ``h``-hop pair passes ``h - 1`` stations, Sec 2.5);
+    * ``bell_latency`` — wall-clock cost of one nearest-neighbour pair
+      generation in units of a local gate layer (resource accounting only;
+      an ``h``-hop generation occupies ``h x bell_latency``);
+    * ``qpus`` — per-QPU gate/measure noise overrides for heterogeneous
+      machines.
+
+    The all-defaults spec is the ideal-link network of the pre-physical
+    pipeline; its hash tag is ``v2`` so results cached under the one-field
+    ideal-link spec are never conflated with physical-network runs.
+    """
 
     topology: str = "line"
+    link_depolarizing: float = 0.0
+    swap_penalty: float = 0.0
+    bell_latency: float = 1.0
+    qpus: tuple[QpuSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Tolerate list/dict inputs from JSON round-trips.
+        if not isinstance(self.qpus, tuple):
+            object.__setattr__(
+                self,
+                "qpus",
+                tuple(q if isinstance(q, QpuSpec) else QpuSpec(**q) for q in self.qpus),
+            )
 
     def validate(self) -> None:
         """Raise :class:`ValueError` on any invalid field."""
         if self.topology not in TOPOLOGIES:
             raise ValueError(f"topology must be one of {tuple(TOPOLOGIES)}")
+        for field_name, rate in (
+            ("link_depolarizing", self.link_depolarizing),
+            ("swap_penalty", self.swap_penalty),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1]")
+        if self.bell_latency < 0.0:
+            raise ValueError("bell_latency must be non-negative")
+        seen = set()
+        for qpu in self.qpus:
+            qpu.validate()
+            if qpu.name in seen:
+                raise ValueError(f"duplicate QPU override for {qpu.name!r}")
+            seen.add(qpu.name)
+
+    @property
+    def is_ideal(self) -> bool:
+        """Whether links are noiseless and QPUs homogeneous."""
+        return (
+            self.link_depolarizing == 0.0
+            and self.swap_penalty == 0.0
+            and all(q.p1 is None and q.p2 is None and q.p_meas is None for q in self.qpus)
+        )
 
     def build(self, names):
-        """Instantiate the topology over the given QPU names."""
+        """Instantiate the topology over the given QPU names.
+
+        Names are validated at this boundary (non-empty strings, no
+        duplicates — the error names the offender), and every QPU override
+        must refer to a QPU that actually exists in the machine.
+        """
+        names = validate_qpu_names(names)
+        self.check_overrides(names)
         return TOPOLOGIES[self.topology](names)
 
+    def check_overrides(self, names) -> None:
+        """Reject QPU overrides naming processors absent from ``names``.
+
+        Called from :meth:`build` and from the runner when the caller
+        supplies a pre-built topology (which bypasses :meth:`build`), so a
+        typo in an override name can never silently drop its noise.
+        """
+        names = list(names)
+        unknown = [q.name for q in self.qpus if q.name not in names]
+        if unknown:
+            raise ValueError(f"QPU overrides name unknown QPUs {unknown}; machine has {names}")
+
+    def link_error_rate(self, hops: int) -> float:
+        """Depolarizing rate of one freshly distributed ``hops``-hop pair.
+
+        Delegates to :meth:`NoiseModel.link_error_rate` so the analysis
+        layer's bounds and the simulators' sampled faults share one formula.
+        """
+        return NoiseModel(
+            p1=0.0,
+            p2=0.0,
+            p_meas=0.0,
+            p_link=self.link_depolarizing,
+            p_swap=self.swap_penalty,
+        ).link_error_rate(hops)
+
+    def noise_model(self, noise: "NoiseSpec | NoiseModel | None") -> NoiseModel | None:
+        """Compose the base circuit noise with this network's physics.
+
+        Returns the simulator-facing :class:`NoiseModel` carrying link
+        rates and per-QPU overrides, or ``None`` when everything is ideal
+        (the engine's fast path).
+        """
+        if isinstance(noise, NoiseSpec):
+            base = noise.to_model()
+        else:
+            base = noise
+        if base is None:
+            base = NoiseModel.noiseless()
+        if self.is_ideal:
+            return None if base.is_noiseless else base
+        overrides = tuple(
+            QpuNoiseOverride(qpu=q.name, p1=q.p1, p2=q.p2, p_meas=q.p_meas)
+            for q in self.qpus
+            if q.p1 is not None or q.p2 is not None or q.p_meas is not None
+        )
+        return NoiseModel(
+            p1=base.p1,
+            p2=base.p2,
+            p_meas=base.p_meas,
+            p_link=self.link_depolarizing,
+            p_swap=self.swap_penalty,
+            qpu_overrides=overrides,
+        )
+
     def content_hash(self) -> str:
-        """Stable digest of every field."""
-        return stable_hash("repro-network-spec-v1", asdict(self))
+        """Stable digest of every field.
+
+        The ``v2`` tag marks the physical-network era: ideal-link ``v1``
+        hashes must never collide with physical-model hashes, so cached
+        experiment results from before the refactor are never served.
+        """
+        return stable_hash("repro-network-spec-v2", asdict(self))
 
 
 @dataclass(frozen=True)

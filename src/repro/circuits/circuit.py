@@ -52,18 +52,33 @@ class Condition:
 
 @dataclass(frozen=True)
 class Instruction:
-    """A single operation: gate, measure, reset, or barrier."""
+    """A single operation: gate, measure, reset, or barrier.
+
+    ``qpu`` and ``hops`` are *site tags* attached by the distributed-program
+    lowering: ``qpu`` names the processor executing an intra-QPU op, and a
+    nonzero ``hops`` marks a Bell-pair generation event spanning that many
+    network links (entanglement swapping stitches one nearest-neighbour pair
+    per hop).  Untagged circuits leave both at their defaults and digest to
+    exactly the same bytes as before tags existed.
+    """
 
     name: str
     qubits: tuple[int, ...]
     clbits: tuple[int, ...] = ()
     params: tuple[float, ...] = ()
     condition: Condition | None = None
+    qpu: str | None = None
+    hops: int = 0
 
     @property
     def is_gate(self) -> bool:
         """Whether this instruction is a unitary gate application."""
         return self.name not in NON_GATE_OPS
+
+    @property
+    def is_link_event(self) -> bool:
+        """Whether this op is a tagged Bell-pair generation across QPUs."""
+        return self.hops > 0
 
 
 class Circuit:
@@ -87,6 +102,8 @@ class Circuit:
         clbits: Sequence[int] = (),
         params: Sequence[float] = (),
         condition: Condition | None = None,
+        qpu: str | None = None,
+        hops: int = 0,
     ) -> "Circuit":
         """Append one instruction, validating indices and arity."""
         qubits = tuple(qubits)
@@ -116,7 +133,11 @@ class Circuit:
             for c in condition.clbits:
                 if not 0 <= c < self.num_clbits:
                     raise IndexError(f"condition clbit {c} out of range")
-        self.instructions.append(Instruction(name, qubits, clbits, params, condition))
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        self.instructions.append(
+            Instruction(name, qubits, clbits, params, condition, qpu, hops)
+        )
         return self
 
     # Single-qubit gates -------------------------------------------------
@@ -239,7 +260,9 @@ class Circuit:
             if inst.name == "barrier":
                 self.instructions.append(Instruction("barrier", new_q))
             else:
-                self.append(inst.name, new_q, new_c, inst.params, new_cond)
+                self.append(
+                    inst.name, new_q, new_c, inst.params, new_cond, inst.qpu, inst.hops
+                )
         return self
 
     def inverse(self) -> "Circuit":
@@ -395,6 +418,10 @@ class Circuit:
                 token += f" ({', '.join(f'{p:.4g}' for p in inst.params)})"
             if inst.condition is not None:
                 token += f" if parity(c{list(inst.condition.clbits)})=={inst.condition.value}"
+            if inst.qpu is not None:
+                token += f" @{inst.qpu}"
+            if inst.hops:
+                token += f" hops={inst.hops}"
             lines.append(token[:max_width])
         return "\n".join(lines)
 
@@ -430,5 +457,13 @@ def circuit_digest(circuit: "Circuit") -> bytes:
                 b"if" + ",".join(map(str, inst.condition.clbits)).encode()
                 + bytes([inst.condition.value])
             )
+        # Site tags are part of the structure: a Bell-generation event with a
+        # different hop count (or an op re-homed to another QPU) is a
+        # different physical circuit.  Untagged instructions contribute no
+        # extra bytes, so pre-tag digests of plain circuits are unchanged.
+        if inst.qpu is not None:
+            h.update(b"@" + inst.qpu.encode())
+        if inst.hops:
+            h.update(b"#" + str(inst.hops).encode())
         h.update(b";")
     return h.digest()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..network.lowering import LoweredProgram, lower_program
 from ..network.program import DistributedProgram, LocalityReport
 from ..network.topology import Topology, line_topology
 from .cswap import DESIGNS, alloc_workspace, two_party_cswap
@@ -61,6 +62,10 @@ class CompasBuild:
         """Audit that only Bell generation spans QPUs."""
         return self.program.audit_locality()
 
+    def lowered(self, bell_latency: float = 1.0) -> LoweredProgram:
+        """The scheduled, QPU-attributed lowering (measured accounting)."""
+        return lower_program(self.program, bell_latency=bell_latency)
+
     def resources(self) -> dict:
         """Resource summary: Bell pairs, qubits, depth per stage."""
         return {
@@ -102,6 +107,10 @@ def build_compas(
     qpu_names = [f"qpu{p}" for p in range(k)]
     if topology is None:
         topology = line_topology(qpu_names)
+    elif set(topology.nodes) != set(qpu_names):
+        raise ValueError(
+            f"topology must connect QPUs {qpu_names}, got {sorted(topology.nodes)}"
+        )
     program = DistributedProgram(topology)
 
     registers = tuple(

@@ -22,8 +22,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..network.lowering import LoweredProgram, lower_program
 from ..network.program import DistributedProgram
-from ..network.topology import line_topology
+from ..network.topology import Topology, line_topology
 from ..teleport.teledata import teleport_qubit
 from .cyclic_shift import interleaved_arrangement, round_position_pairs, slot_assignment
 from .ghz import local_ghz_linear
@@ -49,6 +50,10 @@ class NaiveBuild:
         """The flat circuit."""
         return self.program.build(name="naive_distribution")
 
+    def lowered(self, bell_latency: float = 1.0) -> LoweredProgram:
+        """The scheduled, QPU-attributed lowering (measured accounting)."""
+        return lower_program(self.program, bell_latency=bell_latency)
+
     @property
     def total_qubits(self) -> int:
         """All qubits across the machine."""
@@ -56,18 +61,25 @@ class NaiveBuild:
 
 
 def build_naive_distribution(
-    k: int, n: int, basis: str | None = "x"
+    k: int, n: int, basis: str | None = "x", topology: Topology | None = None
 ) -> NaiveBuild:
     """Build the naive scheme: redistribute slices, test each locally.
 
     QPU i initially holds rho_i; slice j is assigned to QPU ``j % k``.
     Teleports hop-by-hop Bell pairs (ledger-accounted) and then runs a local
-    k-party SWAP test per slice with a local GHZ register.
+    k-party SWAP test per slice with a local GHZ register.  ``topology``
+    defaults to a line over ``qpu0 .. qpu{k-1}`` (the paper's worst case);
+    alternative topologies change only the physical hop-weighted cost.
     """
     if k < 2 or n < 1:
         raise ValueError("need k >= 2 parties and n >= 1 qubits")
     qpu_names = [f"qpu{i}" for i in range(k)]
-    topology = line_topology(qpu_names)
+    if topology is None:
+        topology = line_topology(qpu_names)
+    elif set(topology.nodes) != set(qpu_names):
+        raise ValueError(
+            f"topology must connect QPUs {qpu_names}, got {sorted(topology.nodes)}"
+        )
     program = DistributedProgram(topology)
 
     # Original data placement: state of position i lives on QPU i.

@@ -149,12 +149,13 @@ class Job:
     def content_hash(self) -> str:
         """Stable hex digest of everything that determines the result.
 
-        The ``v2`` tag marks the vectorized-kernel era: the same spec
-        produces different (equally valid) samples than the pre-compile
-        per-shot path, so persisted v1 cache entries must never be served.
+        The ``v3`` tag marks the physical-network era: circuits may carry
+        QPU/hop site tags and noise models may carry link rates and per-QPU
+        overrides, so cache entries persisted by the ideal-link ``v2`` (or
+        the per-shot ``v1``) pipeline must never be served.
         """
         h = hashlib.sha256()
-        h.update(b"repro-job-v2")
+        h.update(b"repro-job-v3")
         h.update(_circuit_digest(self.circuit))
         if self.backend is not None:
             h.update(b"be" + self.backend.encode())
@@ -170,7 +171,20 @@ class Job:
         if self.noise is None or self.noise.is_noiseless:
             h.update(b"noiseless")
         else:
-            h.update(struct.pack(">ddd", self.noise.p1, self.noise.p2, self.noise.p_meas))
+            h.update(
+                struct.pack(
+                    ">ddddd",
+                    self.noise.p1,
+                    self.noise.p2,
+                    self.noise.p_meas,
+                    self.noise.p_link,
+                    self.noise.p_swap,
+                )
+            )
+            for override in self.noise.qpu_overrides:
+                h.update(b"ovr" + override.qpu.encode())
+                for rate in (override.p1, override.p2, override.p_meas):
+                    h.update(b"N" if rate is None else struct.pack(">d", rate))
         h.update(b"ro" + ",".join(map(str, self.readout)).encode())
         h.update(b"fq" + ",".join(map(str, self.frame_qubits)).encode())
         if self.initial_state is not None:

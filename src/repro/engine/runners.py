@@ -172,9 +172,10 @@ def _statevector_batch(job: Job, batch: Batch) -> BatchStats:
     kernel_rng = np.random.default_rng(int(rng.integers(2**63)))
     noise = job.noise if job.noise is not None and not job.noise.is_noiseless else None
     gate_noise = noise is not None and noise.has_gate_noise
+    link_noise = noise is not None and noise.has_link_noise
 
     compile_start = time.perf_counter()
-    program = get_compiled(job.circuit, gate_noise=gate_noise)
+    program = get_compiled(job.circuit, gate_noise=gate_noise, link_noise=link_noise)
     compile_time = time.perf_counter() - compile_start
 
     stats = BatchStats(index=batch.index, shots=batch.shots, compile_time=compile_time)

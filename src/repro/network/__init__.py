@@ -1,8 +1,9 @@
 """Distributed architecture model: QPUs, topology, Bell pairs, programs."""
 
-from .bell import BellLedger, BellPair
-from .program import DistributedProgram, LocalityReport
-from .qpu import Machine, QPU
+from .bell import BellEvent, BellLedger, BellPair
+from .lowering import LoweredProgram, QpuUsage, ScheduledOp, lower_program
+from .program import DistributedProgram, LocalityReport, LocalityViolation
+from .qpu import Machine, QPU, validate_qpu_name, validate_qpu_names
 from .topology import (
     Topology,
     complete_topology,
@@ -12,15 +13,23 @@ from .topology import (
 )
 
 __all__ = [
+    "BellEvent",
     "BellLedger",
     "BellPair",
     "DistributedProgram",
     "LocalityReport",
+    "LocalityViolation",
+    "LoweredProgram",
     "Machine",
     "QPU",
+    "QpuUsage",
+    "ScheduledOp",
     "Topology",
     "complete_topology",
     "line_topology",
+    "lower_program",
     "ring_topology",
     "star_topology",
+    "validate_qpu_name",
+    "validate_qpu_names",
 ]

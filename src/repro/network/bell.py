@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from .topology import Topology
 
-__all__ = ["BellLedger", "BellPair"]
+__all__ = ["BellEvent", "BellLedger", "BellPair"]
 
 
 @dataclass(frozen=True)
@@ -26,8 +26,28 @@ class BellPair:
     qpu_b: str
 
 
+@dataclass(frozen=True)
+class BellEvent:
+    """One recorded pair consumption: endpoints, hop distance, and purpose."""
+
+    qpu_a: str
+    qpu_b: str
+    hops: int
+    purpose: str = ""
+
+
 class BellLedger:
-    """Accounting of Bell pairs consumed, per QPU pair and per QPU."""
+    """Accounting of Bell pairs consumed, per QPU pair and per QPU.
+
+    Two granularities are tracked:
+
+    * **logical** — one entry per teleoperation endpoint pair (``by_link``,
+      ``by_qpu``), independent of distance;
+    * **physical** — hop-weighted nearest-neighbour pairs: a logical pair
+      between QPUs ``h`` hops apart is stitched from ``h`` physical pairs,
+      one per link segment of a shortest path (``physical_by_link``,
+      ``physical_by_qpu`` — every QPU on the path touches the swap chain).
+    """
 
     def __init__(self, topology: Topology | None = None):
         self.topology = topology
@@ -35,21 +55,36 @@ class BellLedger:
         self.physical = 0
         self.by_link: Counter = Counter()
         self.by_qpu: Counter = Counter()
+        self.physical_by_link: Counter = Counter()
+        self.physical_by_qpu: Counter = Counter()
+        self.events: list[BellEvent] = []
 
-    def record(self, qpu_a: str, qpu_b: str, purpose: str = "") -> None:
-        """Record consumption of one logical pair between two QPUs."""
+    def record(self, qpu_a: str, qpu_b: str, purpose: str = "") -> int:
+        """Record consumption of one logical pair between two QPUs.
+
+        Returns the hop count (= physical pairs consumed) of this event.
+        """
         if qpu_a == qpu_b:
             raise ValueError("Bell pair endpoints must be distinct QPUs")
         self.logical += 1
         hops = 1
+        segments = [(qpu_a, qpu_b)]
         if self.topology is not None:
             hops = self.topology.swapping_cost(qpu_a, qpu_b)
+            path = self.topology.path(qpu_a, qpu_b)
+            segments = list(zip(path, path[1:]))
         self.physical += hops
         key = tuple(sorted((qpu_a, qpu_b)))
         self.by_link[key] += 1
         # Each endpoint QPU stores one half of the pair.
         self.by_qpu[qpu_a] += 1
         self.by_qpu[qpu_b] += 1
+        for seg_a, seg_b in segments:
+            self.physical_by_link[tuple(sorted((seg_a, seg_b)))] += 1
+            self.physical_by_qpu[seg_a] += 1
+            self.physical_by_qpu[seg_b] += 1
+        self.events.append(BellEvent(qpu_a, qpu_b, hops, purpose))
+        return hops
 
     def max_per_qpu(self) -> int:
         """Largest number of pair-halves any single QPU holds."""
@@ -62,6 +97,9 @@ class BellLedger:
             "physical_pairs": self.physical,
             "max_halves_per_qpu": self.max_per_qpu(),
             "links": {f"{a}--{b}": c for (a, b), c in sorted(self.by_link.items())},
+            "physical_links": {
+                f"{a}--{b}": c for (a, b), c in sorted(self.physical_by_link.items())
+            },
         }
 
     def __repr__(self) -> str:

@@ -22,7 +22,34 @@ from .bell import BellLedger, BellPair
 from .qpu import Machine
 from .topology import Topology
 
-__all__ = ["DistributedProgram", "LocalityReport"]
+__all__ = ["DistributedProgram", "LocalityReport", "LocalityViolation"]
+
+
+@dataclass(frozen=True)
+class LocalityViolation:
+    """One multi-qubit gate that illegally spans QPUs.
+
+    Carries the instruction index, the gate, and the owner QPU of every
+    involved qubit so the offending teleoperation can be located directly.
+    """
+
+    index: int
+    name: str
+    qubits: tuple[int, ...]
+    owners: tuple[str, ...]
+    """Owning QPU of each entry of ``qubits``, in the same order."""
+
+    @property
+    def qpus(self) -> tuple[str, ...]:
+        """The distinct QPUs spanned, sorted."""
+        return tuple(sorted(set(self.owners)))
+
+    def __str__(self) -> str:
+        placed = ", ".join(f"q{q}@{o}" for q, o in zip(self.qubits, self.owners))
+        return (
+            f"instruction {self.index}: {self.name} on ({placed}) spans QPUs "
+            f"{list(self.qpus)} without a Bell-generation tag"
+        )
 
 
 @dataclass
@@ -31,12 +58,21 @@ class LocalityReport:
 
     local_ops: int
     bell_generation_ops: int
-    violations: list[str] = field(default_factory=list)
+    violations: list[LocalityViolation] = field(default_factory=list)
 
     @property
     def is_local(self) -> bool:
         """True when no multi-qubit gate illegally spans QPUs."""
         return not self.violations
+
+    def describe(self) -> str:
+        """Human-readable audit summary, one line per violation."""
+        if self.is_local:
+            return (
+                f"local: {self.local_ops} intra-QPU multi-qubit ops, "
+                f"{self.bell_generation_ops} Bell generations"
+            )
+        return "\n".join(str(v) for v in self.violations)
 
 
 class DistributedProgram:
@@ -48,6 +84,7 @@ class DistributedProgram:
         self.ledger = BellLedger(topology)
         self._ops: list[tuple] = []  # (name, qubits, clbits, params, condition)
         self._bell_ops: set[int] = set()  # indices into _ops exempt from locality
+        self._bell_hops: dict[int, int] = {}  # op index -> hop distance (CX events)
         self.num_clbits = 0
         if topology is not None:
             for name in topology.nodes:
@@ -81,11 +118,15 @@ class DistributedProgram:
         qpu_b = self.machine.owner(qubit_b)
         if qpu_a == qpu_b:
             raise ValueError("Bell pair must span two QPUs")
+        hops = self.ledger.record(qpu_a, qpu_b, purpose)
         self._bell_ops.add(len(self._ops))
         self._ops.append(("h", (qubit_a,), (), (), None))
+        # The CX is *the* distribution event: the lowering tags it with the
+        # hop distance so link-aware noise models can attach hop-weighted
+        # faults exactly where the ledger records physical-pair consumption.
         self._bell_ops.add(len(self._ops))
+        self._bell_hops[len(self._ops)] = hops
         self._ops.append(("cx", (qubit_a, qubit_b), (), (), None))
-        self.ledger.record(qpu_a, qpu_b, purpose)
         return BellPair(qubit_a, qubit_b, qpu_a, qpu_b)
 
     # ------------------------------------------------------------------
@@ -171,18 +212,42 @@ class DistributedProgram:
     # Materialisation
     # ------------------------------------------------------------------
     def build(self, name: str = "distributed") -> Circuit:
-        """Materialise the accumulated program into a flat Circuit."""
+        """Materialise the accumulated program into a QPU-tagged flat Circuit.
+
+        Every intra-QPU instruction is tagged with its owning QPU and every
+        Bell-generation CX with its hop distance, so downstream consumers
+        (site-aware noise models, the compiler, resource accounting) can
+        resolve per-site behaviour without re-deriving qubit ownership.
+        """
         return self.build_range(0, len(self._ops), name=name)
 
     def build_range(self, start: int, end: int, name: str = "slice") -> Circuit:
         """Materialise a half-open instruction range (for stage-depth reports)."""
         circuit = Circuit(self.machine.num_qubits, self.num_clbits, name=name)
-        for op_name, qubits, clbits, params, condition in self._ops[start:end]:
+        for index in range(start, end):
+            op_name, qubits, clbits, params, condition = self._ops[index]
             if op_name == "barrier":
                 circuit.barrier(qubits)
-            else:
-                circuit.append(op_name, qubits, clbits, params, condition)
+                continue
+            circuit.append(
+                op_name,
+                qubits,
+                clbits,
+                params,
+                condition,
+                qpu=self._owner_tag(index, qubits),
+                hops=self._bell_hops.get(index, 0),
+            )
         return circuit
+
+    def _owner_tag(self, index: int, qubits: tuple[int, ...]) -> str | None:
+        """The owning QPU of an op, or None for cross-QPU Bell generations."""
+        if index in self._bell_hops:
+            return None
+        owners = {self.machine.owner(q) for q in qubits}
+        if len(owners) == 1:
+            return next(iter(owners))
+        return None
 
     def cursor(self) -> int:
         """Current instruction count (pair with :meth:`build_range`)."""
@@ -192,18 +257,20 @@ class DistributedProgram:
         """Verify every multi-qubit gate is intra-QPU or a Bell generation."""
         local = 0
         bell = 0
-        violations: list[str] = []
+        violations: list[LocalityViolation] = []
         for index, (op_name, qubits, _clbits, _params, _cond) in enumerate(self._ops):
             if op_name == "barrier" or len(qubits) < 2:
                 continue
-            owners = {self.machine.owner(q) for q in qubits}
+            owners = tuple(self.machine.owner(q) for q in qubits)
             if index in self._bell_ops:
                 bell += 1
                 continue
-            if len(owners) == 1:
+            if len(set(owners)) == 1:
                 local += 1
             else:
                 violations.append(
-                    f"op {index}: {op_name} on qubits {qubits} spans QPUs {sorted(owners)}"
+                    LocalityViolation(
+                        index=index, name=op_name, qubits=tuple(qubits), owners=owners
+                    )
                 )
         return LocalityReport(local, bell, violations)

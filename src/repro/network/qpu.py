@@ -10,8 +10,37 @@ entanglement-distribution step).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Sequence
 
-__all__ = ["QPU", "Machine"]
+__all__ = ["QPU", "Machine", "validate_qpu_name", "validate_qpu_names"]
+
+
+def validate_qpu_name(name) -> str:
+    """Check one QPU name: a non-empty string.  Returns the name."""
+    if not isinstance(name, str):
+        raise ValueError(f"QPU name must be a string, got {type(name).__name__}: {name!r}")
+    if not name:
+        raise ValueError("QPU name must be non-empty")
+    return name
+
+
+def validate_qpu_names(names: Sequence) -> list[str]:
+    """Check a QPU name list: every name valid, no duplicates.
+
+    The error names the offending entry so misconfigured topologies and
+    machines fail loudly at the boundary instead of aliasing qubits.
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    for index, name in enumerate(names):
+        validate_qpu_name(name)
+        if name in seen:
+            raise ValueError(f"duplicate QPU name {name!r} at position {index}")
+        seen.add(name)
+        out.append(name)
+    if not out:
+        raise ValueError("need at least one QPU name")
+    return out
 
 
 @dataclass
@@ -43,6 +72,7 @@ class Machine:
     # ------------------------------------------------------------------
     def add_qpu(self, name: str) -> QPU:
         """Create an empty QPU."""
+        validate_qpu_name(name)
         if name in self.qpus:
             raise ValueError(f"QPU {name!r} already exists")
         qpu = QPU(name)

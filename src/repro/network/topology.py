@@ -13,6 +13,8 @@ from collections.abc import Sequence
 
 import networkx as nx
 
+from .qpu import validate_qpu_names
+
 __all__ = ["Topology", "line_topology", "ring_topology", "star_topology", "complete_topology"]
 
 
@@ -63,7 +65,7 @@ class Topology:
 def line_topology(names: Sequence) -> Topology:
     """QPUs on a line, adjacent indices connected."""
     graph = nx.Graph()
-    names = list(names)
+    names = validate_qpu_names(names)
     graph.add_nodes_from(names)
     graph.add_edges_from(zip(names, names[1:]))
     return Topology(graph, "line")
@@ -71,7 +73,7 @@ def line_topology(names: Sequence) -> Topology:
 
 def ring_topology(names: Sequence) -> Topology:
     """Line plus a wrap-around link."""
-    names = list(names)
+    names = validate_qpu_names(names)
     graph = nx.Graph()
     graph.add_nodes_from(names)
     graph.add_edges_from(zip(names, names[1:]))
@@ -82,7 +84,7 @@ def ring_topology(names: Sequence) -> Topology:
 
 def star_topology(names: Sequence) -> Topology:
     """First QPU is a hub connected to all others."""
-    names = list(names)
+    names = validate_qpu_names(names)
     graph = nx.Graph()
     graph.add_nodes_from(names)
     graph.add_edges_from((names[0], other) for other in names[1:])
@@ -91,7 +93,7 @@ def star_topology(names: Sequence) -> Topology:
 
 def complete_topology(names: Sequence) -> Topology:
     """All-to-all links."""
-    names = list(names)
+    names = validate_qpu_names(names)
     graph = nx.complete_graph(len(names))
     mapping = dict(enumerate(names))
     return Topology(nx.relabel_nodes(graph, mapping), "complete")

@@ -1,4 +1,9 @@
-"""Resource cost models reproducing Tables 1-3."""
+"""Resource cost models: closed-form Tables 1-3 plus measured accounting.
+
+``accounting`` holds the paper's closed-form constants (the reference
+model); ``measured`` derives the same per-QPU quantities from the circuits
+the builders actually produce, via the scheduled lowering.
+"""
 
 from .accounting import (
     DISTILLATION_RATIO,
@@ -9,11 +14,15 @@ from .accounting import (
     teledata_cost,
     telegate_cost,
 )
+from .measured import MeasuredCost, measure_scheme_cost, measured_scheme_comparison
 
 __all__ = [
     "DISTILLATION_RATIO",
+    "MeasuredCost",
     "SchemeCost",
     "StepCost",
+    "measure_scheme_cost",
+    "measured_scheme_comparison",
     "naive_cost",
     "scheme_comparison",
     "teledata_cost",

@@ -12,7 +12,7 @@ from .compile import (
     get_compiled,
 )
 from .density import DensityResult, DensitySimulator
-from .noisemodel import NoiseModel, depolarizing_kraus
+from .noisemodel import NoiseModel, QpuNoiseOverride, depolarizing_kraus
 from .pauli import Pauli
 from .pauliframe import FrameSample, PauliFrameSimulator
 from .statevector import StatevectorSimulator, TrajectoryResult, simulate_statevector
@@ -30,6 +30,7 @@ __all__ = [
     "DensityResult",
     "DensitySimulator",
     "NoiseModel",
+    "QpuNoiseOverride",
     "depolarizing_kraus",
     "Pauli",
     "FrameSample",

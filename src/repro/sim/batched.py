@@ -87,6 +87,16 @@ def run_batched(
         raise ValueError(
             "program was compiled without fault sites; recompile with gate_noise=True"
         )
+    if (
+        noise is not None
+        and noise.has_link_noise
+        and program.capabilities.num_link_events
+        and not program.link_noise
+    ):
+        raise ValueError(
+            "program has Bell-generation sites but was compiled without link-fault "
+            "sites; recompile with link_noise=True"
+        )
     dim = program.dim
     shared_input, per_shot_states = _normalise_input(initial_state, shots, dim)
 
@@ -200,8 +210,9 @@ def _run_chunk(
             outcomes = _collapse_site(state, op.qubits[0], n, rng, forced_iter, rows)
             if op.kind == "measure":
                 recorded = outcomes
-                if noise is not None and noise.p_meas > 0.0:
-                    flips = rng.random(outcomes.size) < noise.p_meas
+                flip_rate = noise.meas_flip_rate(op.qpu) if noise is not None else 0.0
+                if flip_rate > 0.0:
+                    flips = rng.random(outcomes.size) < flip_rate
                     recorded = outcomes ^ flips.astype(np.uint8)
                 if rows is None:
                     clbits[:, op.clbit] = recorded
@@ -212,22 +223,46 @@ def _run_chunk(
                 if hit.size:
                     _flip_qubit(state, hit if rows is None else rows[hit], op.qubits[0], n)
             continue
-        # Unitary (possibly conditioned, possibly a fault site).
+        # Unitary (possibly conditioned, possibly a gate- or link-fault site).
         if op.condition is not None:
             mask = _parity(clbits, op.condition.clbits) == op.condition.value
             idx = np.nonzero(mask)[0]
             if idx.size:
                 state[idx] = _apply_matrix(state[idx], op.matrix, op.qubits, n)
-                if op.sample_fault and noise is not None:
-                    _inject_faults(state, idx, op.qubits, n, noise, rng)
+                _site_faults(state, idx, op, n, noise, rng)
         else:
             state = _apply_matrix(state, op.matrix, op.qubits, n)
-            if op.sample_fault and noise is not None:
-                _inject_faults(
-                    state, np.arange(shots), op.qubits, n, noise, rng
-                )
+            _site_faults(state, np.arange(shots), op, n, noise, rng)
 
     return BatchRunResult(clbits=clbits, states=state if return_states else None)
+
+
+def _site_faults(
+    state: np.ndarray,
+    rows: np.ndarray,
+    op,
+    num_qubits: int,
+    noise: NoiseModel | None,
+    rng: np.random.Generator,
+) -> None:
+    """Stochastic faults after one unitary site: gate fault, then link fault.
+
+    The gate-fault draw precedes the link-fault draw at sites carrying both
+    (a Bell-generation CX under gate noise) — this fixed order is part of
+    the RNG-consumption contract that keeps results deterministic.
+    """
+    if noise is None:
+        return
+    if op.sample_fault:
+        _inject_faults(
+            state, rows, op.qubits, num_qubits,
+            noise.gate_error_rate(len(op.qubits), op.qpu), rng,
+        )
+    if op.link_hops:
+        _inject_faults(
+            state, rows, op.qubits, num_qubits,
+            noise.link_error_rate(op.link_hops), rng,
+        )
 
 
 def _apply_matrix(
@@ -303,17 +338,18 @@ def _inject_faults(
     rows: np.ndarray,
     qubits: Sequence[int],
     num_qubits: int,
-    noise: NoiseModel,
+    rate: float,
     rng: np.random.Generator,
 ) -> None:
-    """Vectorized depolarizing fault injection after one gate site.
+    """Vectorized depolarizing fault injection at one stochastic site.
 
     Draws the firing mask for all ``rows`` at once, then one uniform
     non-identity Pauli word per firing shot, and applies each distinct word
     to its subset — the batched equivalent of
-    :meth:`NoiseModel.sample_gate_fault`.
+    :meth:`NoiseModel.sample_gate_fault` / :meth:`NoiseModel.sample_link_fault`.
+    The site's ``rate`` is resolved by the caller (arity + QPU override for
+    gate sites, hop-weighted link rate for Bell-generation sites).
     """
-    rate = noise.gate_error_rate(len(qubits))
     if rate <= 0.0:
         return
     fires = rng.random(rows.size) < rate

@@ -62,6 +62,8 @@ class CircuitCapabilities:
     num_measurements: int
     has_reset: bool
     has_conditional: bool
+    num_link_events: int = 0
+    """Bell-generation ops tagged with a hop distance (link-noise sites)."""
 
     @property
     def is_deterministic(self) -> bool:
@@ -82,6 +84,13 @@ class CompiledOp:
     draws a depolarizing fault over ``qubits`` after applying the matrix
     (compiled only when gate noise is active, which also disables fusion so
     every fault site matches one source gate).
+
+    Site metadata is resolved at compile time: ``qpu`` names the processor
+    executing the op (heterogeneous noise overrides resolve through it) and
+    ``link_hops > 0`` marks a Bell-generation link-fault site — the kernel
+    draws one extra hop-weighted depolarizing fault over ``qubits`` there
+    (compiled only when link noise is active, so ideal-link programs carry
+    no link sites and execute bit-identically to the pre-network pipeline).
     """
 
     kind: str
@@ -90,6 +99,8 @@ class CompiledOp:
     clbit: int = -1
     condition: Condition | None = None
     sample_fault: bool = False
+    qpu: str | None = None
+    link_hops: int = 0
 
     @property
     def is_stochastic(self) -> bool:
@@ -98,6 +109,7 @@ class CompiledOp:
             self.kind != "unitary"
             or self.condition is not None
             or self.sample_fault
+            or self.link_hops > 0
         )
 
 
@@ -117,6 +129,7 @@ class CompiledProgram:
     gate_noise: bool
     prefix_len: int
     source_ops: int
+    link_noise: bool = False
 
     @property
     def dim(self) -> int:
@@ -131,6 +144,7 @@ def analyze_circuit(circuit: Circuit) -> CircuitCapabilities:
     num_measurements = 0
     has_reset = False
     has_conditional = False
+    num_link_events = 0
     for inst in circuit.instructions:
         if inst.name == "barrier":
             continue
@@ -144,6 +158,8 @@ def analyze_circuit(circuit: Circuit) -> CircuitCapabilities:
             if inst.condition is not None:
                 has_conditional = True
             continue
+        if inst.hops:
+            num_link_events += 1
         if inst.condition is not None:
             has_conditional = True
             if inst.name not in _PAULI_FEEDBACK:
@@ -159,6 +175,7 @@ def analyze_circuit(circuit: Circuit) -> CircuitCapabilities:
         num_measurements=num_measurements,
         has_reset=has_reset,
         has_conditional=has_conditional,
+        num_link_events=num_link_events,
     )
 
 
@@ -183,7 +200,10 @@ def _fuse_group(gates: list[tuple[np.ndarray, tuple[int, ...]]]) -> CompiledOp:
 
 
 def compile_circuit(
-    circuit: Circuit, gate_noise: bool = False, fuse: bool = True
+    circuit: Circuit,
+    gate_noise: bool = False,
+    fuse: bool = True,
+    link_noise: bool = False,
 ) -> CompiledProgram:
     """Lower ``circuit`` into a :class:`CompiledProgram`.
 
@@ -191,6 +211,12 @@ def compile_circuit(
     noise model: every gate becomes its own fault site (no fusion, so the
     kernel can draw one depolarizing fault per source gate, exactly like the
     reference interpreter).
+
+    ``link_noise=True`` compiles Bell-generation sites (instructions tagged
+    with a hop distance) as standalone link-fault ops carrying their hop
+    count, so the kernel can draw one hop-weighted depolarizing fault per
+    distributed pair.  Link sites break fusion locally but — unlike gate
+    noise — leave the rest of the circuit fusable.
     """
     ops: list[CompiledOp] = []
     pending: list[tuple[np.ndarray, tuple[int, ...]]] = []
@@ -215,6 +241,7 @@ def compile_circuit(
                     qubits=inst.qubits,
                     clbit=inst.clbits[0],
                     condition=inst.condition,
+                    qpu=inst.qpu,
                 )
             )
             continue
@@ -227,7 +254,8 @@ def compile_circuit(
             )
             continue
         matrix = _resolve_matrix(inst.name, inst.params)
-        if inst.condition is not None or gate_noise:
+        link_hops = inst.hops if (link_noise and inst.hops) else 0
+        if inst.condition is not None or gate_noise or link_hops:
             flush()
             ops.append(
                 CompiledOp(
@@ -236,11 +264,17 @@ def compile_circuit(
                     matrix=matrix,
                     condition=inst.condition,
                     sample_fault=gate_noise,
+                    qpu=inst.qpu,
+                    link_hops=link_hops,
                 )
             )
             continue
         if not fuse:
-            ops.append(CompiledOp(kind="unitary", qubits=inst.qubits, matrix=matrix))
+            ops.append(
+                CompiledOp(
+                    kind="unitary", qubits=inst.qubits, matrix=matrix, qpu=inst.qpu
+                )
+            )
             continue
         union = pending_support | set(inst.qubits)
         if pending and len(union) > FUSION_MAX_QUBITS:
@@ -264,6 +298,7 @@ def compile_circuit(
         gate_noise=gate_noise,
         prefix_len=prefix_len,
         source_ops=source_ops,
+        link_noise=link_noise,
     )
 
 
@@ -272,19 +307,23 @@ def compile_circuit(
 # ----------------------------------------------------------------------
 _CACHE_MAX = 256
 
-_program_cache: OrderedDict[tuple[bytes, bool], CompiledProgram] = OrderedDict()
+_program_cache: OrderedDict[tuple[bytes, bool, bool], CompiledProgram] = OrderedDict()
 _caps_cache: OrderedDict[bytes, CircuitCapabilities] = OrderedDict()
 _cache_lock = Lock()
 _stats = {"compiles": 0, "hits": 0, "compile_time": 0.0}
 
 
-def get_compiled(circuit: Circuit, gate_noise: bool = False) -> CompiledProgram:
+def get_compiled(
+    circuit: Circuit, gate_noise: bool = False, link_noise: bool = False
+) -> CompiledProgram:
     """Compile-once accessor, keyed by the circuit's content digest.
 
     Thread-safe; the cache is per process, so every pool worker compiles a
-    given circuit at most once no matter how many batches it executes.
+    given circuit at most once no matter how many batches it executes.  The
+    noise-compilation flags are part of the key: the same circuit compiled
+    for ideal links and for link-aware execution are distinct programs.
     """
-    key = (circuit.content_digest(), gate_noise)
+    key = (circuit.content_digest(), gate_noise, link_noise)
     with _cache_lock:
         program = _program_cache.get(key)
         if program is not None:
@@ -292,7 +331,7 @@ def get_compiled(circuit: Circuit, gate_noise: bool = False) -> CompiledProgram:
             _stats["hits"] += 1
             return program
     start = time.perf_counter()
-    program = compile_circuit(circuit, gate_noise=gate_noise)
+    program = compile_circuit(circuit, gate_noise=gate_noise, link_noise=link_noise)
     elapsed = time.perf_counter() - start
     with _cache_lock:
         _stats["compiles"] += 1

@@ -144,7 +144,10 @@ class DensitySimulator:
                     continue
                 if inst.name == "measure":
                     new_branches.extend(
-                        self._measure(bits, branch_rho, inst.qubits[0], inst.clbits[0], n)
+                        self._measure(
+                            bits, branch_rho, inst.qubits[0], inst.clbits[0], n,
+                            qpu=inst.qpu,
+                        )
                     )
                     continue
                 if inst.name == "reset":
@@ -152,9 +155,18 @@ class DensitySimulator:
                     continue
                 matrix = gate_matrix(inst.name, inst.params)
                 out = apply_unitary(branch_rho, matrix, inst.qubits, n)
-                rate = self.noise.gate_error_rate(len(inst.qubits))
+                rate = self.noise.gate_error_rate(len(inst.qubits), qpu=inst.qpu)
                 if rate > 0.0:
                     out = apply_channel(out, self._kraus(rate, len(inst.qubits)), inst.qubits, n)
+                if inst.hops and self.noise.has_link_noise:
+                    # Hop-weighted depolarizing of the freshly distributed
+                    # Bell pair — the exact-channel form of the link faults
+                    # the trajectory simulators sample.
+                    link_rate = self.noise.link_error_rate(inst.hops)
+                    if link_rate > 0.0:
+                        out = apply_channel(
+                            out, self._kraus(link_rate, len(inst.qubits)), inst.qubits, n
+                        )
                 new_branches.append((bits, out))
             # Merge branches with identical classical registers and prune.
             merged: dict[tuple[int, ...], np.ndarray] = {}
@@ -180,8 +192,9 @@ class DensitySimulator:
         qubit: int,
         clbit: int,
         num_qubits: int,
+        qpu: str | None = None,
     ) -> list[tuple[tuple[int, ...], np.ndarray]]:
-        p_flip = self.noise.p_meas
+        p_flip = self.noise.meas_flip_rate(qpu)
         proj0 = apply_unitary(rho, _projector(0), [qubit], num_qubits)
         proj1 = apply_unitary(rho, _projector(1), [qubit], num_qubits)
         out = []

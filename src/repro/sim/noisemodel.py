@@ -1,4 +1,4 @@
-"""The paper's circuit-level noise model (Sec 5.1).
+"""The paper's circuit-level noise model (Sec 5.1), extended network-aware.
 
 For a base noise level ``p``:
 
@@ -10,6 +10,22 @@ The model is exposed in two interchangeable forms: Kraus channels for the
 density-matrix simulator and stochastic Pauli fault sampling for the
 statevector-trajectory and Pauli-frame simulators (depolarizing noise is a
 Pauli mixture, so both forms describe the same channel).
+
+**Network extension** (the Sec 7 architecture-side direction): the model
+optionally carries
+
+* ``p_link`` — two-qubit depolarizing applied to each freshly distributed
+  Bell pair, once per nearest-neighbour link it crosses (Eq. 6's noisy-pair
+  model, parameterised per hop);
+* ``p_swap`` — an extra depolarizing penalty per entanglement-swapping
+  station (``hops - 1`` swaps stitch an ``hops``-hop pair, Sec 2.5);
+* ``qpu_overrides`` — per-QPU replacements of the homogeneous ``p1`` /
+  ``p2`` / ``p_meas`` rates, modelling heterogeneous processors.
+
+Link faults attach to instructions tagged as Bell-generation events
+(:attr:`repro.circuits.circuit.Instruction.hops`); per-QPU overrides resolve
+through the instruction's ``qpu`` site tag.  With all extension fields at
+their defaults the model is bit-for-bit the paper's homogeneous one.
 """
 
 from __future__ import annotations
@@ -22,7 +38,7 @@ import numpy as np
 
 from ..circuits.gates import I2, X, Y, Z
 
-__all__ = ["NoiseModel", "depolarizing_kraus", "PAULI_MATRICES"]
+__all__ = ["NoiseModel", "QpuNoiseOverride", "depolarizing_kraus", "PAULI_MATRICES"]
 
 PAULI_MATRICES = {"I": I2, "X": X, "Y": Y, "Z": Z}
 
@@ -52,12 +68,41 @@ def depolarizing_kraus(probability: float, num_qubits: int) -> list[np.ndarray]:
 
 
 @dataclass(frozen=True)
+class QpuNoiseOverride:
+    """Heterogeneous-QPU noise: replacement rates for one named processor.
+
+    ``None`` fields inherit the model's homogeneous rate.
+    """
+
+    qpu: str
+    p1: float | None = None
+    p2: float | None = None
+    p_meas: float | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        if not self.qpu:
+            raise ValueError("QPU override needs a non-empty QPU name")
+        for name, rate in (("p1", self.p1), ("p2", self.p2), ("p_meas", self.p_meas)):
+            if rate is not None and not 0.0 <= rate <= 1.0:
+                raise ValueError(f"override rate {name} for {self.qpu!r} must be in [0, 1]")
+
+
+@dataclass(frozen=True)
 class NoiseModel:
-    """Depolarizing + readout noise, parameterised as in the paper."""
+    """Depolarizing + readout noise, parameterised as in the paper.
+
+    The network-extension fields (``p_link``, ``p_swap``, ``qpu_overrides``)
+    default to the ideal-link values, so a plain ``NoiseModel(p1, p2,
+    p_meas)`` is exactly the paper's homogeneous Sec 5.1 model.
+    """
 
     p1: float
     p2: float
     p_meas: float
+    p_link: float = 0.0
+    p_swap: float = 0.0
+    qpu_overrides: tuple[QpuNoiseOverride, ...] = ()
 
     @classmethod
     def from_base(cls, p: float) -> "NoiseModel":
@@ -71,36 +116,81 @@ class NoiseModel:
 
     @property
     def is_noiseless(self) -> bool:
-        """Whether every rate is exactly zero."""
-        return self.p1 == 0.0 and self.p2 == 0.0 and self.p_meas == 0.0
+        """Whether every rate (including the network extension) is zero."""
+        return (
+            self.p1 == 0.0
+            and self.p2 == 0.0
+            and self.p_meas == 0.0
+            and not self.has_link_noise
+            and all(
+                not any((o.p1, o.p2, o.p_meas)) for o in self.qpu_overrides
+            )
+        )
 
     @property
     def has_gate_noise(self) -> bool:
         """Whether gates suffer stochastic faults (compile-relevant: fault
         sites disable fusion, readout flips alone do not)."""
-        return self.p1 > 0.0 or self.p2 > 0.0
+        if self.p1 > 0.0 or self.p2 > 0.0:
+            return True
+        return any(o.p1 or o.p2 for o in self.qpu_overrides)
 
-    def gate_error_rate(self, num_qubits: int) -> float:
-        """Depolarizing rate applied after a gate of the given arity."""
+    @property
+    def has_link_noise(self) -> bool:
+        """Whether Bell-generation sites suffer link-dependent faults."""
+        return self.p_link > 0.0 or self.p_swap > 0.0
+
+    def _override(self, qpu: str | None) -> QpuNoiseOverride | None:
+        if qpu is None or not self.qpu_overrides:
+            return None
+        for override in self.qpu_overrides:
+            if override.qpu == qpu:
+                return override
+        return None
+
+    def gate_error_rate(self, num_qubits: int, qpu: str | None = None) -> float:
+        """Depolarizing rate applied after a gate of the given arity.
+
+        ``qpu`` resolves heterogeneous per-QPU overrides; ``None`` (or an
+        un-overridden QPU) uses the homogeneous rates.
+        """
         if num_qubits <= 0:
             raise ValueError("gate arity must be positive")
+        override = self._override(qpu)
         if num_qubits == 1:
+            if override is not None and override.p1 is not None:
+                return override.p1
             return self.p1
+        if override is not None and override.p2 is not None:
+            return override.p2
         return self.p2
+
+    def meas_flip_rate(self, qpu: str | None = None) -> float:
+        """Readout flip probability, honouring per-QPU overrides."""
+        override = self._override(qpu)
+        if override is not None and override.p_meas is not None:
+            return override.p_meas
+        return self.p_meas
+
+    def link_error_rate(self, hops: int) -> float:
+        """Depolarizing rate of one freshly distributed ``hops``-hop pair.
+
+        Each crossed link depolarizes with ``p_link``; each of the
+        ``hops - 1`` entanglement-swapping stations adds ``p_swap``; the
+        survival probabilities compose multiplicatively.
+        """
+        if hops < 1:
+            raise ValueError("hops must be positive")
+        survive = (1.0 - self.p_link) ** hops * (1.0 - self.p_swap) ** (hops - 1)
+        return 1.0 - survive
 
     # ------------------------------------------------------------------
     # Stochastic (Pauli fault) form
     # ------------------------------------------------------------------
-    def sample_gate_fault(
-        self, qubits: Sequence[int], rng: np.random.Generator
+    def _sample_pauli_word(
+        self, qubits: Sequence[int], rate: float, rng: np.random.Generator
     ) -> list[tuple[int, str]]:
-        """Sample a Pauli fault after a gate on ``qubits``.
-
-        Returns ``(qubit, pauli)`` pairs with pauli in {X, Y, Z}; empty list
-        when no fault fires.  For multi-qubit gates a uniformly random
-        non-identity Pauli string over the gate's qubits is drawn.
-        """
-        rate = self.gate_error_rate(len(qubits))
+        """One depolarizing draw at the given rate over ``qubits``."""
         if rate == 0.0 or rng.random() >= rate:
             return []
         k = len(qubits)
@@ -112,6 +202,28 @@ class NoiseModel:
             (q, _PAULI_NAMES[w]) for q, w in zip(qubits, word) if w != 0
         ]
 
-    def sample_measurement_flip(self, rng: np.random.Generator) -> bool:
+    def sample_gate_fault(
+        self, qubits: Sequence[int], rng: np.random.Generator, qpu: str | None = None
+    ) -> list[tuple[int, str]]:
+        """Sample a Pauli fault after a gate on ``qubits``.
+
+        Returns ``(qubit, pauli)`` pairs with pauli in {X, Y, Z}; empty list
+        when no fault fires.  For multi-qubit gates a uniformly random
+        non-identity Pauli string over the gate's qubits is drawn.
+        """
+        return self._sample_pauli_word(qubits, self.gate_error_rate(len(qubits), qpu), rng)
+
+    def sample_link_fault(
+        self, qubits: Sequence[int], hops: int, rng: np.random.Generator
+    ) -> list[tuple[int, str]]:
+        """Sample the hop-weighted fault of one Bell-generation event."""
+        if not self.has_link_noise:
+            return []
+        return self._sample_pauli_word(qubits, self.link_error_rate(hops), rng)
+
+    def sample_measurement_flip(
+        self, rng: np.random.Generator, qpu: str | None = None
+    ) -> bool:
         """Whether a measurement record is flipped."""
-        return bool(self.p_meas > 0.0 and rng.random() < self.p_meas)
+        rate = self.meas_flip_rate(qpu)
+        return bool(rate > 0.0 and rng.random() < rate)

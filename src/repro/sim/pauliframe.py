@@ -83,7 +83,7 @@ class PauliFrameSimulator:
             if name == "measure":
                 qubit, clbit = inst.qubits[0], inst.clbits[0]
                 flip = int(fx[qubit])
-                if self.noise.sample_measurement_flip(self.rng):
+                if self.noise.sample_measurement_flip(self.rng, qpu=inst.qpu):
                     flip ^= 1
                 flips[clbit] = flip
                 # The Z component on a measured qubit is unobservable and the
@@ -108,10 +108,10 @@ class PauliFrameSimulator:
                         fz[q] ^= True
                 # A conditioned Pauli never transforms the frame, so the gate
                 # itself needs no further propagation; still inject gate noise.
-                self._inject_gate_noise(inst.qubits, fx, fz)
+                self._inject_noise(inst, fx, fz)
                 continue
             self._propagate(name, inst.qubits, fx, fz)
-            self._inject_gate_noise(inst.qubits, fx, fz)
+            self._inject_noise(inst, fx, fz)
         return FrameSample(Pauli(fx, fz, 0), flips)
 
     # ------------------------------------------------------------------
@@ -145,10 +145,18 @@ class PauliFrameSimulator:
             return
         raise AssertionError(f"unreachable gate {name!r}")
 
-    def _inject_gate_noise(
-        self, qubits: tuple[int, ...], fx: np.ndarray, fz: np.ndarray
-    ) -> None:
-        for qubit, pauli in self.noise.sample_gate_fault(qubits, self.rng):
+    def _inject_noise(self, inst, fx: np.ndarray, fz: np.ndarray) -> None:
+        """Gate fault, then the hop-weighted link fault at Bell sites.
+
+        Same fixed fault order as the statevector paths; Pauli faults XOR
+        straight into the frame.
+        """
+        faults = self.noise.sample_gate_fault(inst.qubits, self.rng, qpu=inst.qpu)
+        if inst.hops:
+            faults = faults + self.noise.sample_link_fault(
+                inst.qubits, inst.hops, self.rng
+            )
+        for qubit, pauli in faults:
             if pauli in ("X", "Y"):
                 fx[qubit] ^= True
             if pauli in ("Z", "Y"):

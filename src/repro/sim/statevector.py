@@ -158,7 +158,9 @@ class StatevectorSimulator:
                     outcome = 0 if self.rng.random() < p0 else 1
                 state = _collapse(state, qubit, outcome, num_qubits)
                 recorded = outcome
-                if noise is not None and noise.sample_measurement_flip(self.rng):
+                if noise is not None and noise.sample_measurement_flip(
+                    self.rng, qpu=inst.qpu
+                ):
                     recorded ^= 1
                 clbits[clbit] = recorded
                 measurements.append((qubit, clbit, recorded))
@@ -177,12 +179,22 @@ class StatevectorSimulator:
             matrix = _matrix_for(inst.name, inst.params)
             state = apply_gate(state, matrix, inst.qubits, num_qubits)
             if noise is not None:
+                # Gate fault first, then the hop-weighted link fault at
+                # Bell-generation sites — the same fixed order as the
+                # batched kernel's RNG-consumption contract.
                 for fault_qubit, pauli in noise.sample_gate_fault(
-                    inst.qubits, self.rng
+                    inst.qubits, self.rng, qpu=inst.qpu
                 ):
                     state = apply_gate(
                         state, PAULI_MATRICES[pauli], [fault_qubit], num_qubits
                     )
+                if inst.hops:
+                    for fault_qubit, pauli in noise.sample_link_fault(
+                        inst.qubits, inst.hops, self.rng
+                    ):
+                        state = apply_gate(
+                            state, PAULI_MATRICES[pauli], [fault_qubit], num_qubits
+                        )
         return TrajectoryResult(state, clbits, measurements)
 
     # ------------------------------------------------------------------
@@ -199,7 +211,8 @@ class StatevectorSimulator:
         a ``(shots, 2**n)`` array.
         """
         gate_noise = self.noise is not None and self.noise.has_gate_noise
-        program = get_compiled(circuit, gate_noise=gate_noise)
+        link_noise = self.noise is not None and self.noise.has_link_noise
+        program = get_compiled(circuit, gate_noise=gate_noise, link_noise=link_noise)
         result = run_batched(
             program, shots, self.rng, noise=self.noise, initial_state=initial_state
         )
