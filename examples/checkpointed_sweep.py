@@ -1,0 +1,71 @@
+"""Checkpointed parameter sweeps: crash-safe, resumable, streaming.
+
+The paper's headline results are parameter sweeps of hundreds of small
+jobs, so long sweeps need two things: a worker pool that stays busy
+across job boundaries (the engine's cross-job pipeline does that
+automatically) and crash safety.  This example runs a GHZ-fidelity sweep
+with ``checkpoint=``, "kills" it partway by abandoning the streaming
+iterator, and then resumes: the finished points are loaded from the
+checkpoint (flagged ``result.resumed``) and only the unfinished ones are
+recomputed.  The streaming iterator also shows incremental progress via
+``SweepResult.partial()``.
+
+Run:  python examples/checkpointed_sweep.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Engine, Experiment
+
+
+def main() -> None:
+    parties = [3, 4, 5, 6, 7, 8]
+    base = Experiment.ghz_fidelity(parties[0], p=0.004, shots=4000, seed=21)
+    checkpoint = Path(tempfile.mkdtemp(prefix="repro-checkpoint-"))
+    print(f"checkpoint directory = {checkpoint}")
+
+    # First leg: stream the sweep, reporting progress per point, and stop
+    # after three points — simulating a crash or a killed batch job.
+    with Engine(workers=2) as engine:
+        iterator = base.sweep_iter(
+            over="num_parties", values=parties, engine=engine, checkpoint=checkpoint
+        )
+        for point, sweep in iterator:
+            snapshot = sweep.partial()  # safe to persist/report mid-sweep
+            print(
+                f"  point {len(snapshot)}/{snapshot.total}: "
+                f"num_parties={point.params['num_parties']} "
+                f"fidelity={point.result.estimate:.4f}"
+            )
+            if len(snapshot) == 3:
+                iterator.close()
+                print("  ... killed after 3 points (iterator abandoned)")
+                break
+        print(f"jobs executed before the kill: {engine.stats.jobs}")
+
+    # Second leg: the same sweep resumes from the checkpoint.  Points 1-3
+    # are served from disk; only 4-6 execute jobs.
+    with Engine(workers=2) as engine:
+        sweep = base.sweep(
+            over="num_parties", values=parties, engine=engine, checkpoint=checkpoint
+        )
+        print(f"\nresumed run: {sweep.resumed} points from checkpoint, "
+              f"{engine.stats.jobs} jobs recomputed")
+    for point in sweep:
+        tag = "resumed " if point.result.resumed else "computed"
+        print(
+            f"  [{tag}] num_parties={point.params['num_parties']} "
+            f"fidelity={point.result.estimate:.4f} (seed {point.result.seed})"
+        )
+    assert sweep.complete
+
+    # The recorded seed makes the whole sweep reproducible from scratch:
+    # a checkpoint-free re-run lands on identical estimates.
+    reference = base.sweep(over="num_parties", values=parties)
+    assert reference.estimates() == sweep.estimates()
+    print("\ncheckpoint-free re-run is bit-identical to the resumed sweep")
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,9 @@ _LAZY_EXPORTS = {
     "QpuSpec": ("repro.api", "QpuSpec"),
     "RunOptions": ("repro.api", "RunOptions"),
     "SweepResult": ("repro.api", "SweepResult"),
+    "SweepCheckpoint": ("repro.api", "SweepCheckpoint"),
+    "iter_experiment_sweep": ("repro.api", "iter_experiment_sweep"),
+    "run_experiment_sweep": ("repro.api", "run_experiment_sweep"),
     # Legacy protocol entry points (deprecated wrappers).
     "multiparty_swap_test": ("repro.core.estimator", "multiparty_swap_test"),
     "MultivariateTraceResult": ("repro.core.estimator", "MultivariateTraceResult"),

@@ -32,7 +32,13 @@ from .specs import (
     fresh_seed,
     stable_hash,
 )
-from .sweep import ExperimentSweepPoint, SweepResult
+from .sweep import (
+    ExperimentSweepPoint,
+    SweepCheckpoint,
+    SweepResult,
+    iter_experiment_sweep,
+    run_experiment_sweep,
+)
 
 __all__ = [
     "API_VERSION",
@@ -49,7 +55,10 @@ __all__ = [
     "ProtocolSpec",
     "QpuSpec",
     "RunOptions",
+    "SweepCheckpoint",
     "SweepResult",
     "fresh_seed",
+    "iter_experiment_sweep",
+    "run_experiment_sweep",
     "stable_hash",
 ]

@@ -33,7 +33,7 @@ from ..engine import Engine
 from .execution import execute, execute_exact
 from .result import ExperimentResult
 from .specs import NetworkSpec, NoiseSpec, ProtocolSpec, RunOptions, stable_hash
-from .sweep import SweepResult, run_experiment_sweep
+from .sweep import SweepResult, iter_experiment_sweep, run_experiment_sweep
 
 __all__ = ["Experiment", "KINDS"]
 
@@ -210,6 +210,7 @@ class Experiment:
         grid: Mapping | None = None,
         engine: Engine | None = None,
         with_exact: bool = False,
+        checkpoint=None,
     ) -> SweepResult:
         """Run once per grid point through one shared engine.
 
@@ -217,9 +218,48 @@ class Experiment:
         is a tuple of names); ``grid=`` takes the cartesian product in
         row-major key order, exactly like :meth:`repro.engine.Engine.sweep`.
         Worker count never changes the estimates (engine determinism).
+
+        ``checkpoint=dir`` makes the sweep crash-safe: each point's
+        envelope is persisted (atomically, keyed by the sweep's base hash
+        and the point's parameters) as it lands, and re-running the same
+        sweep resumes from the finished points instead of recomputing
+        them.
         """
         return run_experiment_sweep(
-            self, over=over, values=values, grid=grid, engine=engine, with_exact=with_exact
+            self,
+            over=over,
+            values=values,
+            grid=grid,
+            engine=engine,
+            with_exact=with_exact,
+            checkpoint=checkpoint,
+        )
+
+    def sweep_iter(
+        self,
+        *,
+        over: str | Sequence[str] | None = None,
+        values: Sequence | None = None,
+        grid: Mapping | None = None,
+        engine: Engine | None = None,
+        with_exact: bool = False,
+        checkpoint=None,
+    ):
+        """Stream the sweep of :meth:`sweep`: yield ``(point, sweep)`` pairs.
+
+        Each grid point is yielded as it completes together with the live
+        :class:`~repro.api.SweepResult` (use its ``partial()`` snapshot
+        for progress reporting); see
+        :func:`repro.api.sweep.iter_experiment_sweep`.
+        """
+        return iter_experiment_sweep(
+            self,
+            over=over,
+            values=values,
+            grid=grid,
+            engine=engine,
+            with_exact=with_exact,
+            checkpoint=checkpoint,
         )
 
     # ------------------------------------------------------------------

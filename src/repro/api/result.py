@@ -22,7 +22,7 @@ needs it back) and is never serialized.
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
@@ -88,6 +88,13 @@ class ExperimentResult:
     engine_stats: dict | None = None
     provenance: dict = field(default_factory=dict)
     raw: Any = field(default=None, repr=False, compare=False)
+    #: Set (in-process only, like ``raw``) when this envelope was served
+    #: from a sweep checkpoint instead of being recomputed.
+    resumed: bool = field(default=False, compare=False)
+
+    def resumed_copy(self) -> "ExperimentResult":
+        """The same envelope, flagged as restored from a sweep checkpoint."""
+        return replace(self, resumed=True)
 
     # ------------------------------------------------------------------
     # Convenience accessors

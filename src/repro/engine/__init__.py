@@ -10,7 +10,7 @@ from .cache import CacheStats, ResultCache
 from .engine import Engine, EngineStats, SweepPoint, grid_points
 from .job import DEFAULT_BATCH_SIZE, JOB_BACKENDS, Ensemble, Job, JobResult
 from .router import BACKENDS, BackendChoice, BackendRouter
-from .runners import Batch, BatchStats, batch_rng, execute_batch
+from .runners import Batch, BatchExecutionError, BatchStats, batch_rng, execute_batch
 from .scheduler import Scheduler
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "BackendChoice",
     "BackendRouter",
     "Batch",
+    "BatchExecutionError",
     "BatchStats",
     "batch_rng",
     "execute_batch",

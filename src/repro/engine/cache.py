@@ -4,14 +4,21 @@ Two tiers: a process-local dict and an optional on-disk JSON store (one file
 per job hash).  A disk hit is promoted into memory.  Because the job hash
 covers circuit, shots, seed, noise, inputs, and the batch partition, a cache
 hit is byte-for-byte the result the engine would have recomputed.
+
+Disk entries are written atomically (temp file + ``os.replace`` in the same
+directory), so an interrupted run can never leave a truncated JSON file
+behind.  Entries that are nevertheless unreadable or corrupt (partial writes
+from pre-atomic versions, disk faults, schema drift) are treated as misses:
+the bad file is deleted, the ``corrupt`` counter incremented, and the job
+recomputed and re-stored.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..utils.jsonio import atomic_write_json, load_json_or_discard
 from .job import JobResult
 
 __all__ = ["CacheStats", "ResultCache"]
@@ -19,11 +26,25 @@ __all__ = ["CacheStats", "ResultCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one cache instance."""
+    """Hit/miss counters of one cache instance.
 
-    hits: int = 0
+    Hits are split by tier — ``hits_memory`` (process-local dict) vs
+    ``hits_disk`` (JSON store) — so a warm-cache run is distinguishable
+    from a cold one that merely found its files on disk.  ``hits`` stays
+    available as the sum for envelope compatibility.  ``corrupt`` counts
+    disk entries that could not be read back and were discarded.
+    """
+
+    hits_memory: int = 0
+    hits_disk: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups served from cache (memory + disk)."""
+        return self.hits_memory + self.hits_disk
 
     @property
     def hit_rate(self) -> float:
@@ -32,8 +53,15 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def to_dict(self) -> dict:
-        """JSON-safe dict."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        """JSON-safe dict (``hits`` remains the tier sum)."""
+        return {
+            "hits": self.hits,
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
 
 
 class ResultCache:
@@ -48,28 +76,40 @@ class ResultCache:
     def get(self, key: str) -> JobResult | None:
         """Look up a result; returns a cache-flagged copy or None."""
         result = self._memory.get(key)
-        if result is None and self.directory is not None:
-            path = self._path(key)
-            if path.exists():
-                result = JobResult.from_dict(json.loads(path.read_text()))
+        if result is not None:
+            self.stats.hits_memory += 1
+            return result.cached_copy()
+        if self.directory is not None:
+            result = self._read_disk(key)
+            if result is not None:
                 self._memory[key] = result
-        if result is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return result.cached_copy()
+                self.stats.hits_disk += 1
+                return result.cached_copy()
+        self.stats.misses += 1
+        return None
 
     def put(self, key: str, result: JobResult) -> None:
-        """Store a freshly computed result under its job hash."""
+        """Store a freshly computed result under its job hash.
+
+        The disk write goes through a same-directory temp file and
+        ``os.replace``, so readers only ever see complete entries.
+        """
         self._memory[key] = result
         self.stats.stores += 1
         if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            self._path(key).write_text(json.dumps(result.to_dict()))
+            atomic_write_json(self._path(key), result.to_dict())
 
     def clear(self) -> None:
         """Drop the in-memory tier (disk files are left in place)."""
         self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def _read_disk(self, key: str) -> JobResult | None:
+        """Load one disk entry; corrupt/unreadable entries become misses."""
+        result, corrupt = load_json_or_discard(self._path(key), JobResult.from_dict)
+        if corrupt:
+            self.stats.corrupt += 1
+        return result
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"

@@ -13,6 +13,17 @@ Layers (each independently testable):
 
 ``Engine(workers=1, cache=False)`` is exactly the legacy direct path: one
 worker, no cache, same batch partition — and therefore the same bits.
+
+Cross-job pipelining: :meth:`Engine.run_many` and :meth:`Engine.sweep`
+submit *all* batches of *all* non-cached jobs to the shared pool at once
+(futures keyed by ``(job_index, batch_index)``) and reduce each job in
+batch-index order as its futures complete, so a sweep of many small jobs
+keeps every worker busy across job boundaries instead of draining the
+pool at each job's tail.  RNG substreams depend only on
+``(job.seed, batch.index)``, so the pipelined results are bit-identical
+to the per-job serial path at any worker count.  :meth:`Engine.as_completed`
+exposes the same machinery as a stream, yielding ``(index, result)`` pairs
+in completion order for incremental progress reporting.
 """
 
 from __future__ import annotations
@@ -21,13 +32,14 @@ import itertools
 import math
 import time
 from collections import Counter
+from concurrent.futures import as_completed as futures_as_completed
 from dataclasses import dataclass, field
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 
 from .cache import ResultCache
 from .job import Job, JobResult
 from .router import BackendChoice, BackendRouter
-from .runners import BatchStats
+from .runners import BatchExecutionError, BatchStats, execute_batch
 from .scheduler import Scheduler
 
 __all__ = ["Engine", "EngineStats", "SweepPoint", "grid_points"]
@@ -46,7 +58,12 @@ def grid_points(grid: Mapping[str, Sequence]):
 
 @dataclass
 class EngineStats:
-    """Cumulative execution statistics of one engine."""
+    """Cumulative execution statistics of one engine.
+
+    ``wall_time`` sums each job's own elapsed time; under cross-job
+    pipelining jobs overlap, so this total can exceed the actual wall
+    clock (it measures work, not latency).
+    """
 
     jobs: int = 0
     cached_jobs: int = 0
@@ -75,6 +92,18 @@ class SweepPoint:
 
     params: dict
     result: JobResult
+
+
+@dataclass
+class _PendingJob:
+    """In-flight bookkeeping of one pipelined job."""
+
+    job: Job
+    key: str
+    choice: BackendChoice
+    expected: int
+    started: float
+    stats: list[BatchStats] = field(default_factory=list)
 
 
 class Engine:
@@ -109,16 +138,223 @@ class Engine:
     def run(self, job: Job) -> JobResult:
         """Execute one job (or serve it from cache)."""
         key = job.content_hash()
-        if self.cache is not None:
-            hit = self.cache.get(key)
+        hit = self._cache_hit(key)
+        if hit is not None:
+            return hit
+        return self._run_uncached(job, key)
+
+    def run_many(self, jobs: Sequence[Job], *, pipeline: bool = True) -> list[JobResult]:
+        """Execute several jobs; all jobs' batches share the worker pool.
+
+        With ``pipeline=True`` (the default) every batch of every
+        non-cached job is submitted to the pool at once, so small jobs
+        cannot leave workers idle at job boundaries.  ``pipeline=False``
+        keeps the historical one-job-at-a-time path.  Both are
+        bit-identical at equal seeds for any worker count.
+        """
+        jobs = list(jobs)
+        if not pipeline:
+            return [self.run(job) for job in jobs]
+        results: list[JobResult | None] = [None] * len(jobs)
+        for index, result in self.as_completed(jobs):
+            results[index] = result
+        return results
+
+    def as_completed(self, jobs: Sequence[Job]) -> Iterator[tuple[int, JobResult]]:
+        """Yield ``(job_index, JobResult)`` pairs in completion order.
+
+        Cache hits are yielded immediately; the remaining jobs' batches
+        are all submitted to the pool at once and each job is reduced (in
+        batch-index order) the moment its last batch lands, so long sweeps
+        can report progress incrementally.  When the cache is enabled,
+        duplicate jobs inside one call are computed once and the repeats
+        served as cache hits — exactly what the serial path would do.
+        Under pipelining a job's ``elapsed`` is its submission-to-reduce
+        latency on the shared pool (batches of different jobs interleave),
+        not the time a dedicated pool would have needed.
+
+        On the first batch failure every outstanding future is cancelled
+        and drained, then a
+        :class:`~repro.engine.runners.BatchExecutionError` naming the
+        failed ``(job_index, batch_index)`` propagates.
+        """
+        jobs = list(jobs)
+        pending: list[tuple[int, Job, str]] = []
+        pending_keys: set[str] = set()
+        for index, job in enumerate(jobs):
+            key = job.content_hash()
+            if key in pending_keys:
+                # A known in-flight duplicate: skip the redundant lookup
+                # (and its miss counter) — it will be served after the
+                # first occurrence computes, like on the serial path.
+                pending.append((index, job, key))
+                continue
+            hit = self._cache_hit(key)
             if hit is not None:
-                self.stats.jobs += 1
-                self.stats.cached_jobs += 1
-                return hit
+                yield index, hit
+            else:
+                pending.append((index, job, key))
+                pending_keys.add(key)
+        if not pending:
+            return
+        if not self.scheduler.pooled:
+            computed: set[str] = set()
+            for index, job, key in pending:
+                if key in computed:
+                    # Same dedupe contract as the pooled pipeline: repeats
+                    # of a job computed in this call are served from cache.
+                    yield index, self._cache_hit(key)
+                    continue
+                yield index, self._run_uncached(job, key)
+                if self.cache is not None:
+                    computed.add(key)
+            return
+        yield from self._pipeline(pending)
+
+    def sweep(
+        self,
+        make_job: Callable[..., Job],
+        grid: Mapping[str, Sequence],
+        *,
+        pipeline: bool = True,
+    ) -> list[SweepPoint]:
+        """Run ``make_job(**params)`` over the cartesian product of ``grid``.
+
+        Returns one :class:`SweepPoint` per grid point, in row-major order
+        of the grid's keys.  All points' batches share the worker pool
+        (see :meth:`run_many`).
+        """
+        params_list = list(grid_points(grid))
+        jobs = [make_job(**params) for params in params_list]
+        results = self.run_many(jobs, pipeline=pipeline)
+        return [
+            SweepPoint(params=params, result=result)
+            for params, result in zip(params_list, results)
+        ]
+
+    # ------------------------------------------------------------------
+    # Pipelined execution internals
+    # ------------------------------------------------------------------
+    def _pipeline(self, pending) -> Iterator[tuple[int, JobResult]]:
+        """Fan all batches of all pending jobs across the shared pool."""
+        # Within-run dedupe: with a cache, one computation per distinct
+        # hash; repeats are served from cache when the original finishes
+        # (matching the serial path's behaviour and counters).
+        duplicates: dict[str, list[int]] = {}
+        submit: list[tuple[int, Job, str]] = []
+        if self.cache is not None:
+            first_for: dict[str, int] = {}
+            for index, job, key in pending:
+                if key in first_for:
+                    duplicates.setdefault(key, []).append(index)
+                else:
+                    first_for[key] = index
+                    submit.append((index, job, key))
+        else:
+            submit = pending
+
+        # Routing happens up front so a bad job fails before anything runs.
+        routed = [(index, job, key, self.router.select(job)) for index, job, key in submit]
+        inline = [entry for entry in routed if entry[3].name == "density"]
+        pooled = [entry for entry in routed if entry[3].name != "density"]
+
+        states: dict[int, _PendingJob] = {}
+        future_map: dict = {}
+        try:
+            # Submission happens inside the try so a mid-loop failure
+            # (e.g. a broken process pool) still cancels what went in.
+            for index, job, key, choice in pooled:
+                batches = self.scheduler.plan(job)
+                states[index] = _PendingJob(
+                    job=job,
+                    key=key,
+                    choice=choice,
+                    expected=len(batches),
+                    started=time.perf_counter(),
+                )
+                for batch in batches:
+                    future_map[self.scheduler.submit(job, batch, choice.name)] = (index, batch)
+            # Exact-mode (density) jobs are not picklable work units; run
+            # them inline while the pool chews on the sampled batches.
+            for index, job, key, choice in inline:
+                job_start = time.perf_counter()
+                batch_stats = [
+                    execute_batch(job, batch, choice.name)
+                    for batch in self.scheduler.plan(job)
+                ]
+                result = self._finish(
+                    job, key, choice, batch_stats, time.perf_counter() - job_start
+                )
+                yield index, result
+                yield from self._serve_duplicates(duplicates, key)
+
+            for future in futures_as_completed(future_map):
+                index, batch = future_map[future]
+                try:
+                    batch_stats = future.result()
+                except Exception as exc:
+                    raise BatchExecutionError(
+                        f"job {index} batch {batch.index} ({batch.shots} shots) "
+                        f"failed on backend {states[index].choice.name!r}: {exc}",
+                        job_index=index,
+                        batch_index=batch.index,
+                    ) from exc
+                state = states[index]
+                state.stats.append(batch_stats)
+                if len(state.stats) == state.expected:
+                    result = self._finish(
+                        state.job,
+                        state.key,
+                        state.choice,
+                        state.stats,
+                        time.perf_counter() - state.started,
+                    )
+                    yield index, result
+                    yield from self._serve_duplicates(duplicates, state.key)
+        except GeneratorExit:
+            # An abandoned generator must not leave batches queued — but
+            # close() must not block on running ones either.
+            for future in future_map:
+                future.cancel()
+            raise
+        except BaseException:
+            # Any failure (a dead batch, an inline density job, a cache
+            # write) quiets the pool before it propagates.
+            self.scheduler.cancel_and_drain(future_map)
+            raise
+
+    def _serve_duplicates(self, duplicates, key) -> Iterator[tuple[int, JobResult]]:
+        for dup_index in duplicates.pop(key, ()):
+            hit = self._cache_hit(key)
+            yield dup_index, hit
+
+    # ------------------------------------------------------------------
+    # Shared per-job bookkeeping
+    # ------------------------------------------------------------------
+    def _cache_hit(self, key: str) -> JobResult | None:
+        if self.cache is None:
+            return None
+        hit = self.cache.get(key)
+        if hit is None:
+            return None
+        self.stats.jobs += 1
+        self.stats.cached_jobs += 1
+        return hit
+
+    def _run_uncached(self, job: Job, key: str) -> JobResult:
         choice = self.router.select(job)
         start = time.perf_counter()
         batch_stats = self.scheduler.execute(job, choice.name)
-        elapsed = time.perf_counter() - start
+        return self._finish(job, key, choice, batch_stats, time.perf_counter() - start)
+
+    def _finish(
+        self,
+        job: Job,
+        key: str,
+        choice: BackendChoice,
+        batch_stats: Sequence[BatchStats],
+        elapsed: float,
+    ) -> JobResult:
         result = _combine(job, key, choice, batch_stats, elapsed)
         if self.cache is not None:
             self.cache.put(key, result)
@@ -129,23 +365,6 @@ class Engine:
         self.stats.execute_time += result.execute_time
         self.stats.backends[choice.name] += 1
         return result
-
-    def run_many(self, jobs: Sequence[Job]) -> list[JobResult]:
-        """Execute several jobs; each job's batches share the worker pool."""
-        return [self.run(job) for job in jobs]
-
-    def sweep(
-        self, make_job: Callable[..., Job], grid: Mapping[str, Sequence]
-    ) -> list[SweepPoint]:
-        """Run ``make_job(**params)`` over the cartesian product of ``grid``.
-
-        Returns one :class:`SweepPoint` per grid point, in row-major order
-        of the grid's keys.
-        """
-        return [
-            SweepPoint(params=params, result=self.run(make_job(**params)))
-            for params in grid_points(grid)
-        ]
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

@@ -36,7 +36,7 @@ from ..sim.tableau import TableauSimulator
 from ..utils.states import assemble_initial_state
 from .job import Job
 
-__all__ = ["Batch", "BatchStats", "batch_rng", "execute_batch"]
+__all__ = ["Batch", "BatchExecutionError", "BatchStats", "batch_rng", "execute_batch"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,34 @@ class Batch:
 
     index: int
     shots: int
+
+
+class BatchExecutionError(RuntimeError):
+    """A batch died inside the worker pool.
+
+    The scheduler and the engine's cross-job pipeline raise this in place
+    of the worker's original exception (kept as ``__cause__``) so the
+    failure names the exact ``(job_index, batch_index)`` RNG substream that
+    failed.  By the time it propagates, every outstanding future of the
+    submission has been cancelled and the still-running ones drained, so
+    the pool is quiet and reusable.  ``job_index`` is ``None`` when the
+    failure came from a single-job submission.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        job_index: int | None = None,
+        batch_index: int | None = None,
+    ):
+        super().__init__(message)
+        self.job_index = job_index
+        self.batch_index = batch_index
+
+    def __reduce__(self):
+        # Positional re-construction keeps the error picklable across
+        # process-pool boundaries.
+        return (type(self), (self.args[0], self.job_index, self.batch_index))
 
 
 @dataclass

@@ -14,15 +14,28 @@ order, so the outcome is bit-identical whether the batches run serially, on
   cheap to spin up, shares the circuit objects);
 * ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor` (true
   CPU parallelism; jobs and batches are picklable by construction).
+
+Failure handling: when a pooled batch raises, every not-yet-started batch
+is cancelled and the still-running ones are drained before a
+:class:`~repro.engine.runners.BatchExecutionError` naming the failed batch
+index propagates — a dead batch never leaves the rest of the submission
+silently burning the pool.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 
 from .job import Job
-from .runners import Batch, BatchStats, execute_batch
+from .runners import Batch, BatchExecutionError, BatchStats, execute_batch
 
 __all__ = ["Scheduler"]
 
@@ -42,6 +55,11 @@ class Scheduler:
         self._pool: Executor | None = None
 
     # ------------------------------------------------------------------
+    @property
+    def pooled(self) -> bool:
+        """Whether this scheduler dispatches batches to a real pool."""
+        return self.workers > 1 and self.executor_kind != "serial"
+
     def plan(self, job: Job) -> list[Batch]:
         """Deterministic batch partition of the job's shot budget."""
         if job.mode == "exact":
@@ -56,19 +74,46 @@ class Scheduler:
             remaining -= take
         return batches
 
+    def submit(self, job: Job, batch: Batch, backend: str) -> Future:
+        """Submit one batch to the pool (the cross-job pipeline's primitive)."""
+        return self._ensure_pool().submit(execute_batch, job, batch, backend)
+
     def execute(self, job: Job, backend: str) -> list[BatchStats]:
         """Run every batch of ``job`` on ``backend``; stats in index order."""
         batches = self.plan(job)
-        if (
-            self.workers <= 1
-            or self.executor_kind == "serial"
-            or len(batches) <= 1
-            or backend == "density"
-        ):
+        if not self.pooled or len(batches) <= 1 or backend == "density":
             return [execute_batch(job, batch, backend) for batch in batches]
-        pool = self._ensure_pool()
-        futures = [pool.submit(execute_batch, job, batch, backend) for batch in batches]
-        return [future.result() for future in futures]
+        futures = {self.submit(job, batch, backend): batch for batch in batches}
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next(
+            (f for f in done if not f.cancelled() and f.exception() is not None),
+            None,
+        )
+        if failed is None:
+            # dict preserves submission order == batch-index order.
+            return [future.result() for future in futures]
+        self.cancel_and_drain(not_done)
+        batch = futures[failed]
+        exc = failed.exception()
+        raise BatchExecutionError(
+            f"batch {batch.index} ({batch.shots} shots) failed on backend "
+            f"{backend!r}: {exc}",
+            batch_index=batch.index,
+        ) from exc
+
+    @staticmethod
+    def cancel_and_drain(futures) -> None:
+        """Cancel what hasn't started and wait out what has.
+
+        The one place the pool-stays-reusable invariant lives: after this
+        returns, no batch of the submission is queued or running, so the
+        pool can take new work and the caller can safely report the first
+        failure.  Used by both :meth:`execute` and the engine's cross-job
+        pipeline.
+        """
+        for future in futures:
+            future.cancel()
+        wait([future for future in futures if not future.cancelled()])
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> Executor:

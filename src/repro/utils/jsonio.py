@@ -1,0 +1,65 @@
+"""Crash-safe JSON persistence shared by the result stores.
+
+One copy of the discipline both the engine's disk cache and the sweep
+checkpoint rely on:
+
+* :func:`atomic_write_json` — write via a same-directory temp file and
+  ``os.replace``, so readers only ever observe complete entries (a killed
+  process can truncate the temp file, never the entry);
+* :func:`load_json_or_discard` — read + parse an entry, treating an
+  unreadable or corrupt file as "absent": the bad file is deleted (so it
+  cannot poison later reads) and the caller is told it happened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Callable
+from pathlib import Path
+
+__all__ = ["atomic_write_json", "load_json_or_discard"]
+
+
+def atomic_write_json(path: Path, payload) -> None:
+    """Atomically persist ``payload`` as JSON at ``path``.
+
+    The temp name carries the writer's PID, so concurrent processes
+    writing the same entry never collide on the temp file; the final
+    ``os.replace`` is atomic within the directory.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def load_json_or_discard(path: Path, parse: Callable = lambda payload: payload):
+    """Load and ``parse`` one JSON entry; returns ``(value, corrupt)``.
+
+    ``value`` is ``None`` when the entry is missing *or* corrupt;
+    ``corrupt`` is True only when a bad file was found (unreadable,
+    invalid JSON, or ``parse`` rejected its schema) and deleted.
+    """
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None, False
+    except OSError:
+        _discard(path)
+        return None, True
+    try:
+        return parse(json.loads(text)), False
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        _discard(path)
+        return None, True
+
+
+def _discard(path: Path) -> None:
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        pass  # read-only store: the entry still reads as absent
