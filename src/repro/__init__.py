@@ -65,6 +65,15 @@ _LAZY_EXPORTS = {
     "SweepCheckpoint": ("repro.api", "SweepCheckpoint"),
     "iter_experiment_sweep": ("repro.api", "iter_experiment_sweep"),
     "run_experiment_sweep": ("repro.api", "run_experiment_sweep"),
+    # Observability (tracing, metrics, run reports, logging).
+    "Observability": ("repro.obs", "Observability"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
+    "run_report": ("repro.obs", "run_report"),
+    "render_timeline": ("repro.obs", "render_timeline"),
+    "enable_logging": ("repro.obs", "enable_logging"),
+    "get_observability": ("repro.obs", "get_observability"),
+    "set_observability": ("repro.obs", "set_observability"),
     # Legacy protocol entry points (deprecated wrappers).
     "multiparty_swap_test": ("repro.core.estimator", "multiparty_swap_test"),
     "MultivariateTraceResult": ("repro.core.estimator", "MultivariateTraceResult"),

@@ -41,6 +41,8 @@ from ..core.estimator import (
 from ..core.swap_test import build_monolithic_swap_test
 from ..core.trace_sum import TraceSumResult, exact_trace_sum
 from ..engine import Engine
+from ..obs.report import run_report
+from ..obs.runtime import NOOP, Observability
 from ..sim.pauli import Pauli
 from ..utils.fitting import binomial_stderr
 from ..utils.linalg import partial_trace
@@ -619,18 +621,43 @@ def _provenance(experiment) -> dict:
     return {"experiment_hash": experiment.content_hash(), "api_version": API_VERSION}
 
 
-def execute(experiment, engine: Engine | None = None, *, with_exact: bool = False):
-    """Run one experiment; see :meth:`repro.api.Experiment.run`."""
+def execute(
+    experiment,
+    engine: Engine | None = None,
+    *,
+    with_exact: bool = False,
+    obs: Observability | None = None,
+):
+    """Run one experiment; see :meth:`repro.api.Experiment.run`.
+
+    With an enabled ``obs`` bundle the run is wrapped in an
+    ``experiment.run`` root span (engine/scheduler/worker spans nest
+    under it), and the windowed run report — timing breakdown, metrics,
+    text timeline — is attached as ``result.observability``.  Tracing is
+    observational only: estimates are bit-identical with or without it.
+    """
     experiment.validate()
     options = experiment.options.resolved()
+    obs = obs if obs is not None else NOOP
     owns_engine = engine is None
     if owns_engine:
         engine = options.make_engine()
+    if obs.enabled:
+        engine.set_observability(obs)
+    mark = obs.tracer.mark()
     start = time.perf_counter()
     try:
-        estimate, stderr, extra, raw = _RUNNERS[experiment.kind](experiment, options, engine)
-        wall_time = time.perf_counter() - start
-        stats = engine.stats_dict()
+        with obs.tracer.span(
+            "experiment.run",
+            kind=experiment.kind,
+            shots=options.shots,
+            seed=options.seed,
+        ):
+            estimate, stderr, extra, raw = _RUNNERS[experiment.kind](
+                experiment, options, engine
+            )
+            wall_time = time.perf_counter() - start
+            stats = engine.stats_dict()
     finally:
         if owns_engine:
             engine.close()
@@ -639,6 +666,11 @@ def execute(experiment, engine: Engine | None = None, *, with_exact: bool = Fals
         exact = raw[1]  # the QSP runner computes its reference as a byproduct
     elif with_exact and experiment.kind in _EXACTS:
         exact, _, _ = _EXACTS[experiment.kind](experiment)
+    observability = None
+    if obs.enabled:
+        observability = run_report(
+            obs, since=mark, extra={"workers": engine.scheduler.workers}
+        )
     return ExperimentResult(
         kind=experiment.kind,
         estimate=estimate,
@@ -651,6 +683,7 @@ def execute(experiment, engine: Engine | None = None, *, with_exact: bool = Fals
         wall_time=wall_time,
         engine_stats=stats,
         provenance=_provenance(experiment),
+        observability=observability,
         raw=raw,
     )
 

@@ -190,13 +190,22 @@ class Experiment:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, engine: Engine | None = None, *, with_exact: bool = False) -> ExperimentResult:
+    def run(
+        self,
+        engine: Engine | None = None,
+        *,
+        with_exact: bool = False,
+        obs=None,
+    ) -> ExperimentResult:
         """Execute through an engine (a private one when none is given).
 
         ``with_exact`` also computes the shot-free reference and records
-        it under ``result.exact``.
+        it under ``result.exact``.  ``obs`` (a
+        :class:`repro.obs.Observability`) traces the run end to end and
+        attaches the run report as ``result.observability``; estimates
+        are bit-identical with tracing on or off.
         """
-        return execute(self, engine, with_exact=with_exact)
+        return execute(self, engine, with_exact=with_exact, obs=obs)
 
     def run_exact(self) -> ExperimentResult:
         """Shot-free reference evaluation (kinds with a ground truth)."""
@@ -211,6 +220,8 @@ class Experiment:
         engine: Engine | None = None,
         with_exact: bool = False,
         checkpoint=None,
+        obs=None,
+        progress=None,
     ) -> SweepResult:
         """Run once per grid point through one shared engine.
 
@@ -224,6 +235,10 @@ class Experiment:
         and the point's parameters) as it lands, and re-running the same
         sweep resumes from the finished points instead of recomputing
         them.
+
+        ``obs`` traces the whole sweep as one coherent trace (resumed
+        points show up as events, not recomputed spans); ``progress`` is
+        called as ``progress(point, sweep)`` after every point lands.
         """
         return run_experiment_sweep(
             self,
@@ -233,6 +248,8 @@ class Experiment:
             engine=engine,
             with_exact=with_exact,
             checkpoint=checkpoint,
+            obs=obs,
+            progress=progress,
         )
 
     def sweep_iter(
@@ -244,6 +261,8 @@ class Experiment:
         engine: Engine | None = None,
         with_exact: bool = False,
         checkpoint=None,
+        obs=None,
+        progress=None,
     ):
         """Stream the sweep of :meth:`sweep`: yield ``(point, sweep)`` pairs.
 
@@ -260,6 +279,8 @@ class Experiment:
             engine=engine,
             with_exact=with_exact,
             checkpoint=checkpoint,
+            obs=obs,
+            progress=progress,
         )
 
     # ------------------------------------------------------------------

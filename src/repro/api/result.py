@@ -74,6 +74,37 @@ class ExperimentResult:
     ``estimate`` is complex for trace-like kinds and float elsewhere;
     ``stderr`` is the standard error of its real part (imaginary-part
     spread, when meaningful, is under ``extra["stderr_im"]``).
+
+    ``observability`` is the optional run report attached when the
+    experiment executed with tracing enabled (``run(obs=...)``).  Its
+    schema, produced by :func:`repro.obs.run_report`::
+
+        {
+          "report": {
+            "version": 1,
+            "trace_id": str | None,
+            "num_spans": int,          # spans in this run's window
+            "wall_time": float,        # seconds, root-span envelope
+            "workers": int | None,
+            "executor": str | None,
+            "batches": int,
+            "breakdown": {             # seconds per pipeline stage
+              "queue_wait": float, "worker_compile": float,
+              "worker_execute": float, "ipc": float, "reduce": float,
+            },
+            "breakdown_shares": {...}, # same keys, fractions of their sum
+            "ipc_share": float,        # serialization/IPC share of latency
+            "worker_utilization": float | None,
+            "by_name": {name: {"count", "total", "max", "mean", "errors"}},
+            "errors": int,
+            "metrics": {...},          # counters/gauges/histograms (p50/95/99)
+          },
+          "timeline": str,             # indented text flame summary
+        }
+
+    The key is *omitted entirely* from :meth:`to_dict` when None, so
+    pre-observability envelopes round-trip byte-identically and job
+    hashes are untouched.
     """
 
     kind: str
@@ -87,6 +118,7 @@ class ExperimentResult:
     wall_time: float = 0.0
     engine_stats: dict | None = None
     provenance: dict = field(default_factory=dict)
+    observability: dict | None = None
     raw: Any = field(default=None, repr=False, compare=False)
     #: Set (in-process only, like ``raw``) when this envelope was served
     #: from a sweep checkpoint instead of being recomputed.
@@ -131,8 +163,12 @@ class ExperimentResult:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-safe dict (``raw`` excluded); inverse of :meth:`from_dict`."""
-        return {
+        """JSON-safe dict (``raw`` excluded); inverse of :meth:`from_dict`.
+
+        ``observability`` appears only when a run report was attached, so
+        envelopes from untraced runs keep their historical shape.
+        """
+        payload = {
             "api_version": API_VERSION,
             "kind": self.kind,
             "estimate": _encode(self.estimate),
@@ -146,6 +182,9 @@ class ExperimentResult:
             "engine_stats": _encode(self.engine_stats),
             "provenance": _encode(self.provenance),
         }
+        if self.observability is not None:
+            payload["observability"] = _encode(self.observability)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ExperimentResult":
@@ -165,4 +204,5 @@ class ExperimentResult:
             wall_time=float(payload.get("wall_time", 0.0)),
             engine_stats=_decode(payload.get("engine_stats")),
             provenance=_decode(payload.get("provenance") or {}),
+            observability=_decode(payload.get("observability")),
         )

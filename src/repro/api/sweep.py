@@ -28,14 +28,18 @@ snapshot is safe to persist or report while the sweep continues.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping, Sequence
+import logging
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..engine import Engine, grid_points
+from ..obs.runtime import NOOP, Observability
 from ..utils.jsonio import atomic_write_json, load_json_or_discard
 from .result import ExperimentResult, _encode
 from .specs import fresh_seed, stable_hash
+
+_log = logging.getLogger("repro.api.sweep")
 
 __all__ = [
     "ExperimentSweepPoint",
@@ -265,25 +269,62 @@ def _prepare(experiment, over, values, grid, checkpoint, with_exact):
     return base, sets, sweep, store
 
 
-def _drive(base, sets, sweep, store, engine, with_exact):
-    """Run (or resume) each grid point, yielding as results land."""
+def _drive(base, sets, sweep, store, engine, with_exact, obs=None, progress=None):
+    """Run (or resume) each grid point, yielding as results land.
+
+    With an enabled ``obs`` the whole sweep becomes one
+    ``experiment.sweep`` root span; every computed point's
+    ``experiment.run`` span nests under it, and points served from a
+    checkpoint are recorded as zero-duration ``sweep.resume_point``
+    events (plus a ``sweep.resumed_points`` counter), so the trace shows
+    exactly which work the resume skipped.  ``progress`` is called as
+    ``progress(point, sweep)`` after every point (resumed or fresh).
+    """
+    obs = obs if obs is not None else NOOP
+    tracer = obs.tracer
     owns_engine = engine is None
     if owns_engine:
         engine = base.options.make_engine()
+    root = tracer.begin(
+        "experiment.sweep",
+        kind=base.kind,
+        points=len(sets),
+        over=list(sweep.over),
+    )
+    error = None
     try:
         for params in sets:
             result = store.load(params) if store is not None else None
             if result is not None:
                 result = result.resumed_copy()
                 sweep.resumed += 1
+                tracer.event("sweep.resume_point", parent_id=root.span_id)
+                obs.metrics.counter("sweep.resumed_points").inc()
+                _log.debug("sweep point resumed from checkpoint: %s", dict(params))
             else:
-                result = base.derive(**params).run(engine=engine, with_exact=with_exact)
+                # Only scalar swept values go on the span (grid axes may
+                # hold arrays, which are not JSON-safe attrs).
+                scalars = {
+                    k: v
+                    for k, v in params.items()
+                    if isinstance(v, (bool, int, float, str))
+                }
+                with tracer.span("sweep.point", parent_id=root.span_id, **scalars):
+                    result = base.derive(**params).run(
+                        engine=engine, with_exact=with_exact, obs=obs
+                    )
                 if store is not None:
                     store.store(params, result)
             point = ExperimentSweepPoint(params=dict(params), result=result)
             sweep.points.append(point)
+            if progress is not None:
+                progress(point, sweep)
             yield point
+    except BaseException as exc:
+        error = exc
+        raise
     finally:
+        tracer.end(root, error=error)
         if owns_engine:
             engine.close()
 
@@ -297,6 +338,8 @@ def iter_experiment_sweep(
     engine: Engine | None = None,
     with_exact: bool = False,
     checkpoint: str | Path | None = None,
+    obs: Observability | None = None,
+    progress: Callable[[ExperimentSweepPoint, SweepResult], None] | None = None,
 ) -> Iterator[tuple[ExperimentSweepPoint, SweepResult]]:
     """Stream a sweep: yield ``(point, sweep)`` as each grid point lands.
 
@@ -305,10 +348,14 @@ def iter_experiment_sweep(
     With ``checkpoint=`` the already-finished points of an interrupted run
     are yielded (flagged ``result.resumed``) without recomputation, and
     every fresh point is persisted the moment it completes, so abandoning
-    the iterator loses at most the in-flight point.
+    the iterator loses at most the in-flight point.  ``obs`` traces the
+    whole sweep under one root span (resumed points become events);
+    ``progress`` is called after every point.
     """
     base, sets, sweep, store = _prepare(experiment, over, values, grid, checkpoint, with_exact)
-    for point in _drive(base, sets, sweep, store, engine, with_exact):
+    for point in _drive(
+        base, sets, sweep, store, engine, with_exact, obs=obs, progress=progress
+    ):
         yield point, sweep
 
 
@@ -321,9 +368,13 @@ def run_experiment_sweep(
     engine: Engine | None = None,
     with_exact: bool = False,
     checkpoint: str | Path | None = None,
+    obs: Observability | None = None,
+    progress: Callable[[ExperimentSweepPoint, SweepResult], None] | None = None,
 ) -> SweepResult:
     """Run the experiment once per grid point; see ``Experiment.sweep``."""
     base, sets, sweep, store = _prepare(experiment, over, values, grid, checkpoint, with_exact)
-    for _ in _drive(base, sets, sweep, store, engine, with_exact):
+    for _ in _drive(
+        base, sets, sweep, store, engine, with_exact, obs=obs, progress=progress
+    ):
         pass
     return sweep

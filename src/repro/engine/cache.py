@@ -15,11 +15,15 @@ recomputed and re-stored.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..obs.runtime import NOOP
 from ..utils.jsonio import atomic_write_json, load_json_or_discard
 from .job import JobResult
+
+_log = logging.getLogger("repro.engine.cache")
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -53,7 +57,11 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def to_dict(self) -> dict:
-        """JSON-safe dict (``hits`` remains the tier sum)."""
+        """JSON-safe dict (``hits`` remains the tier sum).
+
+        ``hit_rate`` is serialized too, so persisted envelopes can report
+        it without recomputing from the raw counters.
+        """
         return {
             "hits": self.hits,
             "hits_memory": self.hits_memory,
@@ -61,32 +69,53 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "hit_rate": self.hit_rate,
         }
 
 
 class ResultCache:
-    """In-memory + optional on-disk store of :class:`JobResult` by job hash."""
+    """In-memory + optional on-disk store of :class:`JobResult` by job hash.
+
+    ``obs`` (engine-propagated, default no-op) records one ``cache.lookup``
+    span per :meth:`get` tagged with its outcome — ``memory-hit``,
+    ``disk-hit``, ``miss``, or ``corrupt`` — and matching per-outcome
+    counters, so run reports show the hit rate by tier.
+    """
 
     def __init__(self, directory: str | Path | None = None):
         self.directory = Path(directory) if directory is not None else None
         self._memory: dict[str, JobResult] = {}
         self.stats = CacheStats()
+        self.obs = NOOP
 
     # ------------------------------------------------------------------
-    def get(self, key: str) -> JobResult | None:
+    def get(self, key: str, trace_parent: str | None = None) -> JobResult | None:
         """Look up a result; returns a cache-flagged copy or None."""
+        span = self.obs.tracer.begin("cache.lookup", parent_id=trace_parent)
+        result, outcome = self._lookup(key)
+        span.set("outcome", outcome)
+        span.set("key", key[:16])
+        self.obs.tracer.end(span)
+        self.obs.metrics.counter("cache.lookups", outcome=outcome).inc()
+        return result
+
+    def _lookup(self, key: str) -> tuple[JobResult | None, str]:
         result = self._memory.get(key)
         if result is not None:
             self.stats.hits_memory += 1
-            return result.cached_copy()
+            return result.cached_copy(), "memory-hit"
         if self.directory is not None:
+            before = self.stats.corrupt
             result = self._read_disk(key)
             if result is not None:
                 self._memory[key] = result
                 self.stats.hits_disk += 1
-                return result.cached_copy()
+                return result.cached_copy(), "disk-hit"
+            if self.stats.corrupt > before:
+                self.stats.misses += 1
+                return None, "corrupt"
         self.stats.misses += 1
-        return None
+        return None, "miss"
 
     def put(self, key: str, result: JobResult) -> None:
         """Store a freshly computed result under its job hash.
@@ -98,6 +127,7 @@ class ResultCache:
         self.stats.stores += 1
         if self.directory is not None:
             atomic_write_json(self._path(key), result.to_dict())
+        self.obs.metrics.counter("cache.stores").inc()
 
     def clear(self) -> None:
         """Drop the in-memory tier (disk files are left in place)."""
@@ -109,6 +139,7 @@ class ResultCache:
         result, corrupt = load_json_or_discard(self._path(key), JobResult.from_dict)
         if corrupt:
             self.stats.corrupt += 1
+            _log.debug("discarded corrupt cache entry %s", key[:16])
         return result
 
     def _path(self, key: str) -> Path:

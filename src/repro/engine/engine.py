@@ -29,13 +29,16 @@ in completion order for incremental progress reporting.
 from __future__ import annotations
 
 import itertools
+import logging
 import math
 import time
 from collections import Counter
 from concurrent.futures import as_completed as futures_as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterator, Mapping, Sequence
 
+from ..obs.runtime import NOOP, Observability
 from .cache import ResultCache
 from .job import Job, JobResult
 from .router import BackendChoice, BackendRouter
@@ -43,6 +46,8 @@ from .runners import BatchExecutionError, BatchStats, execute_batch
 from .scheduler import Scheduler
 
 __all__ = ["Engine", "EngineStats", "SweepPoint", "grid_points"]
+
+_log = logging.getLogger("repro.engine")
 
 
 def grid_points(grid: Mapping[str, Sequence]):
@@ -60,18 +65,29 @@ def grid_points(grid: Mapping[str, Sequence]):
 class EngineStats:
     """Cumulative execution statistics of one engine.
 
-    ``wall_time`` sums each job's own elapsed time; under cross-job
-    pipelining jobs overlap, so this total can exceed the actual wall
-    clock (it measures work, not latency).
+    Two time totals with different meanings, both reported:
+
+    * ``wall_time`` sums each job's own elapsed time; under cross-job
+      pipelining jobs overlap, so this total can exceed the actual wall
+      clock (it measures work, not latency);
+    * ``elapsed`` is the true wall clock, measured at the outermost
+      ``run``/``run_many``/``sweep`` call (nested calls are not double
+      counted) — the denominator for throughput (``shots / elapsed``).
     """
 
     jobs: int = 0
     cached_jobs: int = 0
     shots: int = 0
     wall_time: float = 0.0
+    elapsed: float = 0.0
     compile_time: float = 0.0
     execute_time: float = 0.0
     backends: Counter = field(default_factory=Counter)
+
+    @property
+    def shots_per_second(self) -> float:
+        """Throughput over the true wall clock (0.0 before any run)."""
+        return self.shots / self.elapsed if self.elapsed > 0 else 0.0
 
     def to_dict(self) -> dict:
         """JSON-safe dict (cache stats are merged in by the engine)."""
@@ -80,6 +96,8 @@ class EngineStats:
             "cached_jobs": self.cached_jobs,
             "shots": self.shots,
             "wall_time": self.wall_time,
+            "elapsed": self.elapsed,
+            "shots_per_second": self.shots_per_second,
             "compile_time": self.compile_time,
             "execute_time": self.execute_time,
             "backends": dict(self.backends),
@@ -104,6 +122,7 @@ class _PendingJob:
     expected: int
     started: float
     stats: list[BatchStats] = field(default_factory=list)
+    span: object = None  # the job's open trace span (noop when disabled)
 
 
 class Engine:
@@ -119,6 +138,7 @@ class Engine:
         executor: str = "thread",
         cache: bool | str | ResultCache | None = False,
         router: BackendRouter | None = None,
+        obs: Observability | None = None,
     ):
         self.scheduler = Scheduler(workers=workers, executor=executor)
         self.router = router or BackendRouter()
@@ -131,17 +151,42 @@ class Engine:
         else:
             self.cache = None
         self.stats = EngineStats()
+        self._depth = 0  # top-level call nesting, for EngineStats.elapsed
+        self.obs = NOOP
+        self.set_observability(obs)
+
+    def set_observability(self, obs: Observability | None) -> None:
+        """Install (or, with None, disable) tracing/metrics on this engine.
+
+        Propagates the bundle to the scheduler and the cache, so batch
+        submission ships trace contexts and cache lookups are tagged.
+        """
+        self.obs = obs if obs is not None else NOOP
+        self.scheduler.obs = self.obs
+        if self.cache is not None:
+            self.cache.obs = self.obs
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, job: Job) -> JobResult:
         """Execute one job (or serve it from cache)."""
-        key = job.content_hash()
-        hit = self._cache_hit(key)
-        if hit is not None:
-            return hit
-        return self._run_uncached(job, key)
+        with self._toplevel():
+            key = job.content_hash()
+            tracer = self.obs.tracer
+            span = tracer.begin("engine.run", job_hash=key[:16], shots=job.shots)
+            error = None
+            try:
+                hit = self._cache_hit(key, parent_id=span.span_id)
+                if hit is not None:
+                    span.set("cache", "hit")
+                    return hit
+                return self._run_uncached(job, key, parent_id=span.span_id)
+            except BaseException as exc:
+                error = exc
+                raise
+            finally:
+                tracer.end(span, error=error)
 
     def run_many(self, jobs: Sequence[Job], *, pipeline: bool = True) -> list[JobResult]:
         """Execute several jobs; all jobs' batches share the worker pool.
@@ -154,7 +199,8 @@ class Engine:
         """
         jobs = list(jobs)
         if not pipeline:
-            return [self.run(job) for job in jobs]
+            with self._toplevel():
+                return [self.run(job) for job in jobs]
         results: list[JobResult | None] = [None] * len(jobs)
         for index, result in self.as_completed(jobs):
             results[index] = result
@@ -179,6 +225,27 @@ class Engine:
         failed ``(job_index, batch_index)`` propagates.
         """
         jobs = list(jobs)
+        with self._toplevel():
+            tracer = self.obs.tracer
+            root = tracer.begin(
+                "engine.run_many",
+                jobs=len(jobs),
+                workers=self.scheduler.workers,
+                executor=self.scheduler.executor_kind,
+                pooled=self.scheduler.pooled,
+            )
+            error = None
+            try:
+                yield from self._as_completed(jobs, root.span_id)
+            except BaseException as exc:
+                error = exc
+                raise
+            finally:
+                tracer.end(root, error=error)
+
+    def _as_completed(
+        self, jobs: list[Job], parent_id: str | None
+    ) -> Iterator[tuple[int, JobResult]]:
         pending: list[tuple[int, Job, str]] = []
         pending_keys: set[str] = set()
         for index, job in enumerate(jobs):
@@ -189,7 +256,7 @@ class Engine:
                 # first occurrence computes, like on the serial path.
                 pending.append((index, job, key))
                 continue
-            hit = self._cache_hit(key)
+            hit = self._cache_hit(key, parent_id=parent_id)
             if hit is not None:
                 yield index, hit
             else:
@@ -203,13 +270,13 @@ class Engine:
                 if key in computed:
                     # Same dedupe contract as the pooled pipeline: repeats
                     # of a job computed in this call are served from cache.
-                    yield index, self._cache_hit(key)
+                    yield index, self._cache_hit(key, parent_id=parent_id)
                     continue
-                yield index, self._run_uncached(job, key)
+                yield index, self._run_uncached(job, key, parent_id=parent_id)
                 if self.cache is not None:
                     computed.add(key)
             return
-        yield from self._pipeline(pending)
+        yield from self._pipeline(pending, parent_id)
 
     def sweep(
         self,
@@ -226,16 +293,36 @@ class Engine:
         """
         params_list = list(grid_points(grid))
         jobs = [make_job(**params) for params in params_list]
-        results = self.run_many(jobs, pipeline=pipeline)
+        with self._toplevel():
+            results = self.run_many(jobs, pipeline=pipeline)
         return [
             SweepPoint(params=params, result=result)
             for params, result in zip(params_list, results)
         ]
 
+    @contextmanager
+    def _toplevel(self):
+        """Accumulate ``stats.elapsed`` on the outermost engine call only.
+
+        ``sweep`` → ``run_many`` → ``as_completed`` all pass through here;
+        the depth guard makes sure true wall clock is counted exactly once
+        per user-facing call, never summed across the nesting.
+        """
+        self._depth += 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            if self._depth == 0:
+                self.stats.elapsed += time.perf_counter() - start
+
     # ------------------------------------------------------------------
     # Pipelined execution internals
     # ------------------------------------------------------------------
-    def _pipeline(self, pending) -> Iterator[tuple[int, JobResult]]:
+    def _pipeline(
+        self, pending, parent_id: str | None = None
+    ) -> Iterator[tuple[int, JobResult]]:
         """Fan all batches of all pending jobs across the shared pool."""
         # Within-run dedupe: with a cache, one computation per distinct
         # hash; repeats are served from cache when the original finishes
@@ -258,6 +345,7 @@ class Engine:
         inline = [entry for entry in routed if entry[3].name == "density"]
         pooled = [entry for entry in routed if entry[3].name != "density"]
 
+        tracer = self.obs.tracer
         states: dict[int, _PendingJob] = {}
         future_map: dict = {}
         try:
@@ -265,31 +353,60 @@ class Engine:
             # (e.g. a broken process pool) still cancels what went in.
             for index, job, key, choice in pooled:
                 batches = self.scheduler.plan(job)
+                job_span = tracer.begin(
+                    "engine.job",
+                    parent_id=parent_id,
+                    job_hash=key[:16],
+                    backend=choice.name,
+                    shots=job.shots,
+                    batches=len(batches),
+                )
                 states[index] = _PendingJob(
                     job=job,
                     key=key,
                     choice=choice,
                     expected=len(batches),
                     started=time.perf_counter(),
+                    span=job_span,
                 )
                 for batch in batches:
-                    future_map[self.scheduler.submit(job, batch, choice.name)] = (index, batch)
+                    ctx = tracer.batch_context(job_span.span_id) if tracer.enabled else None
+                    future = self.scheduler.submit(job, batch, choice.name, trace=ctx)
+                    future_map[future] = (index, batch, ctx, time.perf_counter())
             # Exact-mode (density) jobs are not picklable work units; run
             # them inline while the pool chews on the sampled batches.
             for index, job, key, choice in inline:
                 job_start = time.perf_counter()
-                batch_stats = [
-                    execute_batch(job, batch, choice.name)
-                    for batch in self.scheduler.plan(job)
-                ]
-                result = self._finish(
-                    job, key, choice, batch_stats, time.perf_counter() - job_start
+                job_span = tracer.begin(
+                    "engine.job",
+                    parent_id=parent_id,
+                    job_hash=key[:16],
+                    backend=choice.name,
+                    shots=job.shots,
                 )
+                batch_stats = []
+                for batch in self.scheduler.plan(job):
+                    if tracer.enabled:
+                        ctx = tracer.batch_context(job_span.span_id)
+                        stats = execute_batch(job, batch, choice.name, trace=ctx)
+                        tracer.adopt(stats.spans, parent_id=job_span.span_id)
+                    else:
+                        stats = execute_batch(job, batch, choice.name)
+                    batch_stats.append(stats)
+                result = self._finish(
+                    job,
+                    key,
+                    choice,
+                    batch_stats,
+                    time.perf_counter() - job_start,
+                    parent_id=job_span.span_id,
+                )
+                tracer.end(job_span)
                 yield index, result
-                yield from self._serve_duplicates(duplicates, key)
+                yield from self._serve_duplicates(duplicates, key, parent_id)
 
             for future in futures_as_completed(future_map):
-                index, batch = future_map[future]
+                index, batch, ctx, submitted = future_map[future]
                 try:
                     batch_stats = future.result()
                 except Exception as exc:
@@ -300,6 +417,10 @@ class Engine:
                         batch_index=batch.index,
                     ) from exc
                 state = states[index]
+                if ctx is not None:
+                    self._record_batch(
+                        state, batch, batch_stats, ctx, time.perf_counter() - submitted
+                    )
                 state.stats.append(batch_stats)
                 if len(state.stats) == state.expected:
                     result = self._finish(
@@ -308,44 +429,114 @@ class Engine:
                         state.choice,
                         state.stats,
                         time.perf_counter() - state.started,
+                        parent_id=state.span.span_id,
                     )
+                    tracer.end(state.span)
+                    state.span = None
                     yield index, result
-                    yield from self._serve_duplicates(duplicates, state.key)
+                    yield from self._serve_duplicates(duplicates, state.key, parent_id)
         except GeneratorExit:
             # An abandoned generator must not leave batches queued — but
             # close() must not block on running ones either.
             for future in future_map:
                 future.cancel()
             raise
-        except BaseException:
+        except BaseException as exc:
             # Any failure (a dead batch, an inline density job, a cache
             # write) quiets the pool before it propagates.
+            if tracer.enabled:
+                tracer.event(
+                    "engine.cancel_and_drain",
+                    parent_id=parent_id,
+                    futures=len(future_map),
+                )
+                for state in states.values():
+                    if state.span is not None:
+                        tracer.end(state.span, error=exc)
+                        state.span = None
             self.scheduler.cancel_and_drain(future_map)
             raise
 
-    def _serve_duplicates(self, duplicates, key) -> Iterator[tuple[int, JobResult]]:
+    def _record_batch(self, state, batch, stats, ctx, latency: float) -> None:
+        """Stitch one pooled batch into the trace, parent-side view first.
+
+        The parent-observed latency (submit → future resolved) decomposes
+        into queue wait (submit → worker start, from the shipped context)
+        plus worker-side time plus the serialization/IPC remainder — the
+        number the run report's ``ipc_share`` is built from.
+        """
+        records = stats.spans or ()
+        worker = next((r for r in records if r["name"] == "worker.batch"), None)
+        queue_wait = worker["attrs"].get("queue_wait", 0.0) if worker else 0.0
+        worker_time = worker["duration"] if worker else 0.0
+        ipc_gap = max(latency - queue_wait - worker_time, 0.0)
+        span = self.obs.tracer.record(
+            "engine.batch",
+            start_unix=ctx["submit_unix"],
+            duration=latency,
+            parent_id=state.span.span_id if state.span is not None else None,
+            batch_index=batch.index,
+            shots=batch.shots,
+            queue_wait=queue_wait,
+            ipc_gap=ipc_gap,
+        )
+        self.obs.tracer.adopt(records, parent_id=span.span_id)
+        metrics = self.obs.metrics
+        metrics.histogram("engine.batch_latency").observe(latency)
+        metrics.histogram("engine.queue_wait").observe(queue_wait)
+        metrics.histogram("engine.ipc_gap").observe(ipc_gap)
+
+    def _serve_duplicates(
+        self, duplicates, key, parent_id: str | None = None
+    ) -> Iterator[tuple[int, JobResult]]:
         for dup_index in duplicates.pop(key, ()):
-            hit = self._cache_hit(key)
+            hit = self._cache_hit(key, parent_id=parent_id)
             yield dup_index, hit
 
     # ------------------------------------------------------------------
     # Shared per-job bookkeeping
     # ------------------------------------------------------------------
-    def _cache_hit(self, key: str) -> JobResult | None:
+    def _cache_hit(self, key: str, parent_id: str | None = None) -> JobResult | None:
         if self.cache is None:
             return None
-        hit = self.cache.get(key)
+        hit = self.cache.get(key, trace_parent=parent_id)
         if hit is None:
             return None
         self.stats.jobs += 1
         self.stats.cached_jobs += 1
         return hit
 
-    def _run_uncached(self, job: Job, key: str) -> JobResult:
+    def _run_uncached(
+        self, job: Job, key: str, parent_id: str | None = None
+    ) -> JobResult:
+        tracer = self.obs.tracer
         choice = self.router.select(job)
+        span = tracer.begin(
+            "engine.job",
+            parent_id=parent_id,
+            job_hash=key[:16],
+            backend=choice.name,
+            shots=job.shots,
+        )
         start = time.perf_counter()
-        batch_stats = self.scheduler.execute(job, choice.name)
-        return self._finish(job, key, choice, batch_stats, time.perf_counter() - start)
+        error = None
+        try:
+            batch_stats = self.scheduler.execute(
+                job, choice.name, trace_parent=span.span_id
+            )
+            return self._finish(
+                job,
+                key,
+                choice,
+                batch_stats,
+                time.perf_counter() - start,
+                parent_id=span.span_id,
+            )
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            tracer.end(span, error=error)
 
     def _finish(
         self,
@@ -354,10 +545,15 @@ class Engine:
         choice: BackendChoice,
         batch_stats: Sequence[BatchStats],
         elapsed: float,
+        parent_id: str | None = None,
     ) -> JobResult:
+        tracer = self.obs.tracer
+        span = tracer.begin("engine.reduce", parent_id=parent_id, batches=len(batch_stats))
         result = _combine(job, key, choice, batch_stats, elapsed)
         if self.cache is not None:
             self.cache.put(key, result)
+        tracer.end(span)
+        self.obs.metrics.histogram("engine.job_latency").observe(elapsed)
         self.stats.jobs += 1
         self.stats.shots += job.shots
         self.stats.wall_time += elapsed

@@ -17,6 +17,16 @@ historical per-shot interpreter loop for cross-validation.
 
 ``execute_batch`` is a module-level function taking only picklable
 arguments, so the scheduler can dispatch it to thread *or* process pools.
+
+Tracing: when the scheduler ships a batch context (a small picklable dict
+from :meth:`repro.obs.Tracer.batch_context`), the worker measures its own
+side — queue wait (context submit time → worker start), compile, and
+execute — as plain span records returned in ``BatchStats.spans``.  The
+parent tracer adopts them, so one trace covers both sides of the pool
+boundary and the pickle/IPC gap (parent-observed latency minus queue wait
+minus worker time) is directly measurable.  With tracing disabled the
+context is None and the execution path is byte-for-byte the historical
+one.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.trace import span_record
 from ..sim.batched import run_batched
 from ..sim.compile import get_compiled
 from ..sim.density import DensitySimulator
@@ -77,7 +88,13 @@ class BatchExecutionError(RuntimeError):
 
 @dataclass
 class BatchStats:
-    """Order-independent aggregates of one batch."""
+    """Order-independent aggregates of one batch.
+
+    ``spans`` carries the worker-side span records (plain picklable
+    dicts) when the batch ran under a trace context; the parent tracer
+    adopts them into its trace.  It is None on untraced runs and never
+    affects the statistical aggregates.
+    """
 
     index: int
     shots: int
@@ -87,6 +104,7 @@ class BatchStats:
     probabilities: dict[str, float] | None = None
     compile_time: float = 0.0
     execute_time: float = 0.0
+    spans: list[dict] | None = None
 
 
 def batch_rng(seed: int, index: int) -> np.random.Generator:
@@ -117,8 +135,29 @@ def _parity(clbits: list[int], readout: tuple[int, ...]) -> int:
     return acc
 
 
-def execute_batch(job: Job, batch: Batch, backend: str) -> BatchStats:
-    """Run one batch on the routed backend, returning its aggregates."""
+def execute_batch(
+    job: Job, batch: Batch, backend: str, trace: dict | None = None
+) -> BatchStats:
+    """Run one batch on the routed backend, returning its aggregates.
+
+    ``trace`` is an optional batch context
+    (:meth:`repro.obs.Tracer.batch_context`): when given, worker-side
+    spans (batch / compile / execute, with the measured queue wait) are
+    returned in ``BatchStats.spans`` for the parent tracer to adopt.
+    Tracing never touches the job's RNG substream, so the aggregates are
+    bit-identical with or without it.
+    """
+    if trace is None:
+        return _dispatch_batch(job, batch, backend)
+    start_unix = time.time()
+    t0 = time.perf_counter()
+    stats = _dispatch_batch(job, batch, backend)
+    total = time.perf_counter() - t0
+    stats.spans = _worker_spans(batch, backend, trace, stats, start_unix, total)
+    return stats
+
+
+def _dispatch_batch(job: Job, batch: Batch, backend: str) -> BatchStats:
     if backend == "statevector":
         return _statevector_batch(job, batch)
     if backend == "statevector-ref":
@@ -130,6 +169,50 @@ def execute_batch(job: Job, batch: Batch, backend: str) -> BatchStats:
     if backend == "density":
         return _density_batch(job, batch)
     raise ValueError(f"unknown backend {backend!r}")
+
+
+def _worker_spans(
+    batch: Batch,
+    backend: str,
+    trace: dict,
+    stats: BatchStats,
+    start_unix: float,
+    total: float,
+) -> list[dict]:
+    """The worker-side view of one batch as adoptable span records.
+
+    The root ``worker.batch`` record is left parent-less — the adopting
+    tracer re-parents it under its parent-side batch span — and carries
+    the measured queue wait (submit → worker start, comparable because
+    both sides stamp the same machine's wall clock).
+    """
+    queue_wait = max(start_unix - trace.get("submit_unix", start_unix), 0.0)
+    root = span_record(
+        "worker.batch",
+        start_unix,
+        total,
+        attrs={
+            "batch_index": batch.index,
+            "shots": batch.shots,
+            "backend": backend,
+            "queue_wait": queue_wait,
+        },
+    )
+    records = [root]
+    cursor = start_unix
+    if stats.compile_time > 0.0:
+        records.append(
+            span_record(
+                "worker.compile", cursor, stats.compile_time, parent_id=root["span_id"]
+            )
+        )
+        cursor += stats.compile_time
+    records.append(
+        span_record(
+            "worker.execute", cursor, stats.execute_time, parent_id=root["span_id"]
+        )
+    )
+    return records
 
 
 def _accumulate(stats: BatchStats, clbits: list[int], job: Job) -> None:

@@ -24,6 +24,7 @@ silently burning the pool.
 
 from __future__ import annotations
 
+import logging
 import math
 from concurrent.futures import (
     FIRST_EXCEPTION,
@@ -34,6 +35,7 @@ from concurrent.futures import (
     wait,
 )
 
+from ..obs.runtime import NOOP
 from .job import Job
 from .runners import Batch, BatchExecutionError, BatchStats, execute_batch
 
@@ -41,9 +43,18 @@ __all__ = ["Scheduler"]
 
 _EXECUTORS = ("serial", "thread", "process")
 
+_log = logging.getLogger("repro.engine.scheduler")
+
 
 class Scheduler:
-    """Plans a job into batches and executes them on a worker pool."""
+    """Plans a job into batches and executes them on a worker pool.
+
+    ``obs`` is the engine-propagated observability bundle (default: the
+    shared no-op).  With tracing enabled, :meth:`submit` ships a batch
+    context to the worker and :meth:`execute` adopts the returned
+    worker-side spans, so per-batch queue wait and compile/execute time
+    land in the parent trace.
+    """
 
     def __init__(self, workers: int = 1, executor: str = "thread"):
         if workers < 1:
@@ -52,6 +63,7 @@ class Scheduler:
             raise ValueError(f"executor must be one of {_EXECUTORS}")
         self.workers = workers
         self.executor_kind = executor
+        self.obs = NOOP
         self._pool: Executor | None = None
 
     # ------------------------------------------------------------------
@@ -74,16 +86,52 @@ class Scheduler:
             remaining -= take
         return batches
 
-    def submit(self, job: Job, batch: Batch, backend: str) -> Future:
-        """Submit one batch to the pool (the cross-job pipeline's primitive)."""
-        return self._ensure_pool().submit(execute_batch, job, batch, backend)
+    def submit(
+        self, job: Job, batch: Batch, backend: str, trace: dict | None = None
+    ) -> Future:
+        """Submit one batch to the pool (the cross-job pipeline's primitive).
 
-    def execute(self, job: Job, backend: str) -> list[BatchStats]:
-        """Run every batch of ``job`` on ``backend``; stats in index order."""
+        ``trace`` is an optional picklable batch context shipped to the
+        worker; when None (tracing disabled) the submission is exactly the
+        historical three-argument call.
+        """
+        if trace is None:
+            return self._ensure_pool().submit(execute_batch, job, batch, backend)
+        return self._ensure_pool().submit(execute_batch, job, batch, backend, trace)
+
+    def execute(
+        self, job: Job, backend: str, trace_parent: str | None = None
+    ) -> list[BatchStats]:
+        """Run every batch of ``job`` on ``backend``; stats in index order.
+
+        ``trace_parent`` parents the adopted worker-side spans (the
+        single-job path; the engine's cross-job pipeline does its own
+        adoption to interleave batches of many jobs).
+        """
         batches = self.plan(job)
+        tracer = self.obs.tracer
         if not self.pooled or len(batches) <= 1 or backend == "density":
-            return [execute_batch(job, batch, backend) for batch in batches]
-        futures = {self.submit(job, batch, backend): batch for batch in batches}
+            ordered = []
+            for batch in batches:
+                if tracer.enabled:
+                    ctx = tracer.batch_context(trace_parent)
+                    stats = execute_batch(job, batch, backend, trace=ctx)
+                    tracer.adopt(stats.spans, parent_id=trace_parent)
+                else:
+                    # Historical call shape — monkeypatchable and identical
+                    # to the un-instrumented hot path.
+                    stats = execute_batch(job, batch, backend)
+                ordered.append(stats)
+            return ordered
+        futures = {
+            self.submit(
+                job,
+                batch,
+                backend,
+                trace=tracer.batch_context(trace_parent) if tracer.enabled else None,
+            ): batch
+            for batch in batches
+        }
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         failed = next(
             (f for f in done if not f.cancelled() and f.exception() is not None),
@@ -91,7 +139,11 @@ class Scheduler:
         )
         if failed is None:
             # dict preserves submission order == batch-index order.
-            return [future.result() for future in futures]
+            ordered = [future.result() for future in futures]
+            if tracer.enabled:
+                for stats in ordered:
+                    tracer.adopt(stats.spans, parent_id=trace_parent)
+            return ordered
         self.cancel_and_drain(not_done)
         batch = futures[failed]
         exc = failed.exception()
@@ -111,8 +163,18 @@ class Scheduler:
         failure.  Used by both :meth:`execute` and the engine's cross-job
         pipeline.
         """
+        futures = list(futures)
+        cancelled = 0
         for future in futures:
-            future.cancel()
+            if future.cancel():
+                cancelled += 1
+        if futures and _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "cancel-and-drain: %d futures (%d cancelled, %d draining)",
+                len(futures),
+                cancelled,
+                len(futures) - cancelled,
+            )
         wait([future for future in futures if not future.cancelled()])
 
     # ------------------------------------------------------------------

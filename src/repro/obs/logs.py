@@ -1,0 +1,56 @@
+"""The ``repro`` logger hierarchy.
+
+Library logging discipline: the package root logger (``"repro"``) carries a
+``NullHandler`` — installed the moment any ``repro`` module imports this
+one — so importing the library never configures or pollutes the host
+application's logging.  Subsystems log through children
+(``repro.engine``, ``repro.api``, ``repro.obs.trace``, ...), all silent
+until the application opts in.
+
+:func:`enable_logging` is the one-call opt-in for scripts and notebooks:
+it attaches a stderr handler at DEBUG (or a chosen level) to the package
+root, which surfaces the tracer's span-end events, cache corruption
+discards, cancel-and-drain notices, and sweep progress lines.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["enable_logging", "get_logger"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("engine")``)."""
+    if not name:
+        return _root
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable_logging(level: int = logging.DEBUG, stream=None) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` root and return it.
+
+    Idempotent enough for interactive use: an existing handler attached by
+    a previous call is replaced rather than stacked.  Pass the returned
+    handler to ``logging.getLogger("repro").removeHandler`` to undo.
+    """
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    handler.set_name("repro-obs-console")
+    for existing in list(_root.handlers):
+        if existing.get_name() == "repro-obs-console":
+            _root.removeHandler(existing)
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    return handler

@@ -1,0 +1,337 @@
+"""Counters, gauges, and fixed-bucket histograms with percentile queries.
+
+A :class:`MetricsRegistry` is a thread-safe get-or-create store of named
+instruments, optionally labelled (``registry.counter("cache.lookups",
+tier="memory")``).  All instruments are dependency-free and cheap:
+
+* :class:`Counter` — monotonically increasing int;
+* :class:`Gauge` — last-written float;
+* :class:`Histogram` — fixed bucket boundaries plus count/sum/min/max.
+
+Percentiles: a histogram keeps the raw samples until ``sample_cap`` is
+reached, so :meth:`Histogram.percentile` is *exact* (matching
+``numpy.quantile``'s default linear interpolation bit-for-bit) for
+workloads below the cap, and falls back to within-bucket linear
+interpolation beyond it — bounded memory for service-lifetime histograms,
+exact answers for per-run reports.
+
+:class:`NoopMetrics` is the disabled twin: every accessor returns shared
+inert singletons so instrumented hot paths cost one attribute lookup.
+"""
+
+from __future__ import annotations
+
+import math
+from threading import Lock
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_METRICS",
+    "NoopMetrics",
+]
+
+#: Exponential latency boundaries (seconds): 10 µs … 100 s.
+DEFAULT_LATENCY_BUCKETS = (
+    1e-5,
+    2.5e-5,
+    5e-5,
+    1e-4,
+    2.5e-4,
+    5e-4,
+    1e-3,
+    2.5e-3,
+    5e-3,
+    1e-2,
+    2.5e-2,
+    5e-2,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self._lock = Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self.value += float(amount)
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+def _sample_quantile(ordered: list[float], q: float) -> float:
+    """numpy.quantile's default ("linear") on an already-sorted list."""
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    position = q * (n - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    frac = position - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact-below-cap percentile queries."""
+
+    __slots__ = (
+        "name",
+        "labels",
+        "buckets",
+        "bucket_counts",
+        "count",
+        "total",
+        "vmin",
+        "vmax",
+        "sample_cap",
+        "_samples",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple = (),
+        buckets: tuple[float, ...] | None = None,
+        sample_cap: int = 4096,
+    ):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("bucket boundaries must be sorted ascending")
+        # One count per boundary plus the +inf overflow bucket.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.sample_cap = sample_cap
+        self._samples: list[float] = []
+        self._lock = Lock()
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one measurement."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
+            self.bucket_counts[self._bucket_index(value)] += 1
+            if len(self._samples) < self.sample_cap:
+                self._samples.append(value)
+
+    def _bucket_index(self, value: float) -> int:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                return i
+        return len(self.buckets)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]).
+
+        Exact (numpy-quantile-identical) while every observation is still
+        held in the sample buffer; bucket-interpolated beyond the cap.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            if len(self._samples) == self.count:
+                return _sample_quantile(sorted(self._samples), q)
+            return self._bucket_quantile(q)
+
+    def _bucket_quantile(self, q: float) -> float:
+        """Linear interpolation inside the bucket holding rank ``q``."""
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if cumulative + bucket_count >= target and bucket_count:
+                low = self.buckets[i - 1] if i > 0 else min(self.vmin, self.buckets[0])
+                high = self.buckets[i] if i < len(self.buckets) else self.vmax
+                frac = (target - cumulative) / bucket_count
+                return low + (high - low) * frac
+            cumulative += bucket_count
+        return self.vmax
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot including p50/p95/p99."""
+        with self._lock:
+            count = self.count
+        if count == 0:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.vmin,
+            "max": self.vmax,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create store of named, labelled instruments."""
+
+    enabled = True
+
+    def __init__(self):
+        self._instruments: dict[tuple, object] = {}
+        self._lock = Lock()
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        key = (Histogram, name, tuple(sorted(labels.items())))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = Histogram(name, key[2], buckets=buckets)
+                self._instruments[key] = instrument
+        return instrument
+
+    def _get(self, cls, name: str, labels: dict):
+        key = (cls, name, tuple(sorted(labels.items())))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[2])
+                self._instruments[key] = instrument
+        return instrument
+
+    # ------------------------------------------------------------------
+    def instruments(self) -> list:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def to_dict(self) -> dict:
+        """All instruments keyed ``name`` or ``name{label=value,...}``."""
+        payload: dict[str, dict] = {}
+        for instrument in self.instruments():
+            key = instrument.name
+            if instrument.labels:
+                inner = ",".join(f"{k}={v}" for k, v in instrument.labels)
+                key = f"{key}{{{inner}}}"
+            payload[key] = instrument.to_dict()
+        return payload
+
+
+class _NoopInstrument:
+    """Shared inert counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "noop"
+    labels: tuple = ()
+    value = 0
+    count = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetrics:
+    """Disabled registry: every accessor returns one shared inert object."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels):
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str, **labels):
+        return _NOOP_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None, **labels):
+        return _NOOP_INSTRUMENT
+
+    def instruments(self) -> list:
+        return []
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NOOP_METRICS = NoopMetrics()

@@ -1,0 +1,68 @@
+"""The :class:`Observability` bundle and the process-wide default.
+
+Everything the pipeline instruments against travels as one object: a
+tracer and a metrics registry.  ``Observability()`` builds an *enabled*
+bundle (fresh :class:`~repro.obs.trace.Tracer` + fresh
+:class:`~repro.obs.metrics.MetricsRegistry`); the module-level
+:data:`NOOP` bundle is the disabled twin every engine starts with, whose
+span/metric calls are allocation-free no-ops.
+
+The process-wide default (:func:`get_observability` /
+:func:`set_observability`) exists for instrumentation points that have no
+caller-supplied handle — the per-process compile cache in
+:mod:`repro.sim.compile` being the canonical one.  It starts as
+:data:`NOOP`; worker processes therefore never pay for it unless the host
+explicitly installs a bundle.
+"""
+
+from __future__ import annotations
+
+from .metrics import NOOP_METRICS, MetricsRegistry, NoopMetrics
+from .trace import NOOP_TRACER, NoopTracer, Tracer
+
+__all__ = ["NOOP", "Observability", "get_observability", "set_observability"]
+
+
+class Observability:
+    """One tracer + one metrics registry, passed through the pipeline."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer=None, metrics=None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are being collected."""
+        return self.tracer.enabled
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared no-op bundle (identical to :data:`NOOP`)."""
+        return NOOP
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Observability(enabled={self.enabled})"
+
+
+#: The shared disabled bundle: every engine's default.
+NOOP = Observability(tracer=NOOP_TRACER, metrics=NOOP_METRICS)
+
+_default: Observability = NOOP
+
+
+def get_observability() -> Observability:
+    """The process-wide default bundle (``NOOP`` unless installed)."""
+    return _default
+
+
+def set_observability(obs: Observability | None) -> Observability:
+    """Install (or, with None, reset) the process-wide default bundle."""
+    global _default
+    _default = obs if obs is not None else NOOP
+    return _default
+
+
+def _is_noop(obs: Observability) -> bool:
+    return isinstance(obs.tracer, NoopTracer) and isinstance(obs.metrics, NoopMetrics)

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..circuits.circuit import Circuit, Condition
 from ..circuits.gates import GATES, cached_gate_matrix, gate_matrix
+from ..obs.runtime import get_observability
 from ..utils.linalg import embed_operator
 
 __all__ = [
@@ -322,6 +323,10 @@ def get_compiled(
     given circuit at most once no matter how many batches it executes.  The
     noise-compilation flags are part of the key: the same circuit compiled
     for ideal links and for link-aware execution are distinct programs.
+
+    Hit/miss counts also land on the process-wide observability bundle
+    (:func:`repro.obs.get_observability`) as ``compile.cache`` counters —
+    a no-op unless one has been installed via ``set_observability``.
     """
     key = (circuit.content_digest(), gate_noise, link_noise)
     with _cache_lock:
@@ -329,7 +334,9 @@ def get_compiled(
         if program is not None:
             _program_cache.move_to_end(key)
             _stats["hits"] += 1
-            return program
+    if program is not None:
+        get_observability().metrics.counter("compile.cache", outcome="hit").inc()
+        return program
     start = time.perf_counter()
     program = compile_circuit(circuit, gate_noise=gate_noise, link_noise=link_noise)
     elapsed = time.perf_counter() - start
@@ -342,6 +349,9 @@ def get_compiled(
             _program_cache.popitem(last=False)
         while len(_caps_cache) > _CACHE_MAX:
             _caps_cache.popitem(last=False)
+    metrics = get_observability().metrics
+    metrics.counter("compile.cache", outcome="miss").inc()
+    metrics.histogram("compile.time").observe(elapsed)
     return program
 
 

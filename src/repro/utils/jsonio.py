@@ -18,23 +18,29 @@ import os
 from collections.abc import Callable
 from pathlib import Path
 
-__all__ = ["atomic_write_json", "load_json_or_discard"]
+__all__ = ["atomic_write_json", "atomic_write_text", "load_json_or_discard"]
 
 
-def atomic_write_json(path: Path, payload) -> None:
-    """Atomically persist ``payload`` as JSON at ``path``.
+def atomic_write_text(path: Path, text: str) -> None:
+    """Atomically persist ``text`` at ``path`` (temp file + ``os.replace``).
 
     The temp name carries the writer's PID, so concurrent processes
     writing the same entry never collide on the temp file; the final
     ``os.replace`` is atomic within the directory.
     """
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
     try:
-        tmp.write_text(json.dumps(payload))
+        tmp.write_text(text)
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+
+
+def atomic_write_json(path: Path, payload) -> None:
+    """Atomically persist ``payload`` as JSON at ``path``."""
+    atomic_write_text(path, json.dumps(payload))
 
 
 def load_json_or_discard(path: Path, parse: Callable = lambda payload: payload):
