@@ -1,0 +1,178 @@
+"""Service throughput smoke: N concurrent tenants against one server.
+
+Each tenant posts an overlapping swap-test sweep (windows of a common
+noise grid) plus one private single-point job, then polls to completion.
+The gates keep the serving layer honest:
+
+* **every job completes** — no stuck queue entries, no 5xx;
+* **p99 submit-to-complete latency** stays under a generous ceiling
+  (the histogram is served by ``GET /metrics``, so this also gates the
+  metrics plumbing);
+* **cross-tenant dedupe** — overlapping sweep points are computed once
+  engine-wide (single flight + shared warm cache), so the cache shows
+  at least the guaranteed duplicate-request hits and a hit-rate floor.
+
+Raw numbers land in ``benchmarks/out/service_throughput.json``.
+"""
+
+import http.client
+import json
+import threading
+
+from conftest import emit, scaled, stopwatch
+
+from repro.reporting import Table
+from repro.service import ExperimentService, ServiceConfig, ServiceServer
+
+CLIENTS = scaled(full=8, quick=4, smoke=3)
+SHOTS = scaled(full=20_000, quick=2_000, smoke=400)
+SWEEP_WIDTH = 3  # points per tenant window; consecutive windows overlap by 2
+
+#: The gates.
+P99_CEILING_S = 30.0
+HIT_RATE_FLOOR = 0.15
+#: Each of the ``2 * (CLIENTS - 1)`` duplicated sweep-point requests is
+#: exactly one cache hit (2 basis jobs per point), however the tenants
+#: interleave — the determinism engine single flight buys.
+GUARANTEED_HITS = 2 * 2 * (CLIENTS - 1)
+
+GRID = [0.001 * k for k in range(CLIENTS + SWEEP_WIDTH - 1)]
+DEADLINE_S = 120.0
+
+
+def sweep_spec(tenant: str, window: list[float]) -> dict:
+    return {
+        "tenant": tenant,
+        "experiment": {
+            "kind": "swap_test",
+            "payload": {"states": [[1, 0], [1, 0]]},
+            "options": {"shots": SHOTS, "seed": 5},
+        },
+        "sweep": {"over": "p", "values": window},
+    }
+
+
+def single_spec(tenant: str, seed: int) -> dict:
+    return {
+        "tenant": tenant,
+        "experiment": {
+            "kind": "swap_test",
+            "payload": {"states": [[1, 0], [0, 1]]},
+            "options": {"shots": SHOTS, "seed": seed},
+        },
+    }
+
+
+def request(port: int, method: str, path: str, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def run_client(port: int, index: int, outcome: dict) -> None:
+    """One tenant: submit a sweep + a private single job, poll both done."""
+    import time
+
+    tenant = f"tenant-{index}"
+    specs = [
+        sweep_spec(tenant, GRID[index:index + SWEEP_WIDTH]),
+        single_spec(tenant, seed=1000 + index),
+    ]
+    ids = []
+    for spec in specs:
+        status, payload = request(port, "POST", "/jobs", spec)
+        assert status == 202, payload
+        ids.append(payload["job_id"])
+    deadline = time.monotonic() + DEADLINE_S
+    states = []
+    while ids:
+        status, record = request(port, "GET", f"/jobs/{ids[0]}")
+        assert status == 200, record
+        if record["state"] in ("done", "failed", "cancelled"):
+            states.append(record["state"])
+            ids.pop(0)
+        elif time.monotonic() > deadline:
+            states.append("timeout")
+            ids.pop(0)
+        else:
+            time.sleep(0.02)
+    outcome[index] = states
+
+
+def drive() -> tuple[dict, dict, ExperimentService]:
+    service = ExperimentService(
+        ServiceConfig(engine_workers=2, executor="thread", concurrency=4)
+    )
+    outcome: dict = {}
+    with ServiceServer(service) as server:
+        threads = [
+            threading.Thread(target=run_client, args=(server.port, i, outcome))
+            for i in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        status, metrics = request(server.port, "GET", "/metrics")
+        assert status == 200
+        status, health = request(server.port, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+    return outcome, metrics, service
+
+
+def test_service_throughput(once):
+    with stopwatch() as elapsed:
+        outcome, metrics, service = once(drive)
+    wall = elapsed()
+
+    all_states = [state for states in outcome.values() for state in states]
+    assert all(state == "done" for state in all_states), all_states
+    total_jobs = len(all_states)
+
+    latency = metrics["latency"]
+    cache = metrics["cache"]
+    assert latency["count"] == total_jobs
+    assert latency["p99"] <= P99_CEILING_S
+    assert cache["hits"] >= GUARANTEED_HITS
+    assert cache["hit_rate"] >= HIT_RATE_FLOOR
+
+    table = Table(
+        f"Experiment service throughput — {CLIENTS} concurrent tenants, "
+        f"{total_jobs} jobs ({SWEEP_WIDTH}-point sweeps overlapping by "
+        f"{SWEEP_WIDTH - 1}, plus one private job each), {SHOTS} shots/point",
+        ["metric", "value", "gate"],
+    )
+    table.add_row(metric="jobs completed", value=total_jobs, gate="all done")
+    table.add_row(metric="wall time (s)", value=wall, gate="-")
+    table.add_row(
+        metric="throughput (jobs/s)",
+        value=total_jobs / wall if wall > 0 else 0.0,
+        gate="-",
+    )
+    table.add_row(
+        metric="p50 latency (s)", value=latency["p50"], gate="-"
+    )
+    table.add_row(
+        metric="p99 latency (s)",
+        value=latency["p99"],
+        gate=f"<= {P99_CEILING_S:.0f}s",
+    )
+    table.add_row(
+        metric="cache hits", value=cache["hits"], gate=f">= {GUARANTEED_HITS}"
+    )
+    table.add_row(
+        metric="cache hit rate",
+        value=cache["hit_rate"],
+        gate=f">= {HIT_RATE_FLOOR}",
+    )
+    table.add_row(
+        metric="engine jobs (cached)",
+        value=f"{metrics['engine']['jobs']} ({metrics['engine']['cached_jobs']})",
+        gate="-",
+    )
+    emit("service_throughput", table, wall_time=wall, engine=service.engine)

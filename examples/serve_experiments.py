@@ -1,0 +1,123 @@
+"""Serving experiments over HTTP: submit, stream, dedupe, metrics.
+
+The service wraps one shared engine + warm cache behind a small asyncio
+HTTP API, so many tenants can submit :class:`~repro.api.Experiment`
+specs as JSON and poll or stream results.  This example starts an
+in-process server, then acts as two clients:
+
+* **alice** submits a three-point swap-test noise sweep and streams the
+  per-point results live from ``GET /jobs/{id}/events`` (NDJSON);
+* **bob** submits a sweep overlapping alice's — the engine computes the
+  shared points once (single flight + warm cache), visible afterwards as
+  cache hits in ``GET /metrics``;
+* bob also re-submits alice's exact spec and is joined to her finished
+  job without any recomputation (same content-derived job id).
+
+Run:  python examples/serve_experiments.py
+"""
+
+import http.client
+import json
+
+from repro.service import ExperimentService, ServiceConfig, ServiceServer
+
+
+def request(port: int, method: str, path: str, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def sweep_spec(tenant: str, values: list[float]) -> dict:
+    """A swap-test sweep over the base noise rate ``p``."""
+    return {
+        "tenant": tenant,
+        "experiment": {
+            "kind": "swap_test",
+            "payload": {"states": [[1, 0], [1, 0]]},
+            "options": {"shots": 4000, "seed": 7},
+        },
+        "sweep": {"over": "p", "values": values},
+    }
+
+
+def stream_events(port: int, job_id: str):
+    """Yield NDJSON events from ``GET /jobs/{id}/events`` until done."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("GET", f"/jobs/{job_id}/events")
+        response = conn.getresponse()
+        buffer = b""
+        while True:
+            chunk = response.read(256)
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line)
+    finally:
+        conn.close()
+
+
+def main() -> None:
+    service = ExperimentService(
+        ServiceConfig(engine_workers=2, executor="thread", concurrency=2)
+    )
+    with ServiceServer(service) as server:
+        print(f"service listening at {server.base_url}")
+
+        # Alice submits a sweep and streams it point by point.
+        status, posted = request(
+            server.port, "POST", "/jobs", sweep_spec("alice", [0.0, 0.002, 0.004])
+        )
+        alice_id = posted["job_id"]
+        print(f"alice: POST /jobs -> {status}, job {alice_id}")
+        for event in stream_events(server.port, alice_id):
+            if event["event"] == "point":
+                params = event["params"]
+                estimate = event["result"]["estimate"]
+                if isinstance(estimate, dict):  # complex, envelope-tagged
+                    estimate = estimate["__complex__"][0]
+                print(f"  point {event['index']}: p={params['p']} "
+                      f"overlap={estimate:.4f}")
+            elif event["event"] in ("done", "failed", "cancelled"):
+                print(f"  stream closed: {event['event']}")
+
+        # Bob's sweep overlaps alice's on p=0.002 and p=0.004: those
+        # points are served from the shared warm cache.
+        status, posted = request(
+            server.port, "POST", "/jobs", sweep_spec("bob", [0.002, 0.004, 0.006])
+        )
+        bob_id = posted["job_id"]
+        print(f"bob:   POST /jobs -> {status}, job {bob_id}")
+        while True:
+            _, record = request(server.port, "GET", f"/jobs/{bob_id}")
+            if record["state"] in ("done", "failed", "cancelled"):
+                print(f"  bob's sweep: {record['state']}")
+                break
+
+        # Identical physics -> identical job id -> joined, not recomputed.
+        status, joined = request(
+            server.port, "POST", "/jobs", sweep_spec("bob", [0.0, 0.002, 0.004])
+        )
+        print(f"bob resubmits alice's grid -> job {joined['job_id']} "
+              f"(deduped={joined['deduped']}, same as alice: "
+              f"{joined['job_id'] == alice_id})")
+
+        _, metrics = request(server.port, "GET", "/metrics")
+        cache = metrics["cache"]
+        print(f"metrics: {cache['hits']} cache hits / "
+              f"{cache['stores']} stores "
+              f"(hit rate {cache['hit_rate']:.2f}), "
+              f"p99 latency {metrics['latency']['p99']:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

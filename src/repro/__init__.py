@@ -74,6 +74,12 @@ _LAZY_EXPORTS = {
     "enable_logging": ("repro.obs", "enable_logging"),
     "get_observability": ("repro.obs", "get_observability"),
     "set_observability": ("repro.obs", "set_observability"),
+    # Serving layer (the multi-tenant HTTP front door).
+    "ExperimentService": ("repro.service", "ExperimentService"),
+    "ServiceConfig": ("repro.service", "ServiceConfig"),
+    "ServiceServer": ("repro.service", "ServiceServer"),
+    "TenantQuota": ("repro.service", "TenantQuota"),
+    "SpecLimits": ("repro.service", "SpecLimits"),
     # Legacy protocol entry points (deprecated wrappers).
     "multiparty_swap_test": ("repro.core.estimator", "multiparty_swap_test"),
     "MultivariateTraceResult": ("repro.core.estimator", "MultivariateTraceResult"),

@@ -7,6 +7,7 @@ estimator, the Section-6 applications, and the benchmarks submit
 """
 
 from .cache import CacheStats, ResultCache
+from .cancel import CancelToken, JobCancelled
 from .engine import Engine, EngineStats, SweepPoint, grid_points
 from .job import DEFAULT_BATCH_SIZE, JOB_BACKENDS, Ensemble, Job, JobResult
 from .router import BACKENDS, BackendChoice, BackendRouter
@@ -16,6 +17,8 @@ from .scheduler import Scheduler
 __all__ = [
     "CacheStats",
     "ResultCache",
+    "CancelToken",
+    "JobCancelled",
     "Engine",
     "EngineStats",
     "SweepPoint",

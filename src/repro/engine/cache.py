@@ -11,11 +11,27 @@ behind.  Entries that are nevertheless unreadable or corrupt (partial writes
 from pre-atomic versions, disk faults, schema drift) are treated as misses:
 the bad file is deleted, the ``corrupt`` counter incremented, and the job
 recomputed and re-stored.
+
+Bounds: ``max_entries`` caps the number of distinct results retained and
+``max_bytes`` caps the on-disk footprint.  Both evict least-recently-used
+entries (every ``get``/``put`` refreshes recency; a pre-existing directory
+is seeded in file-mtime order), count each eviction in
+``CacheStats.evictions``, and remove the entry from *both* tiers so the
+cache never reports containing a result it has dropped.  Unbounded by
+default — exactly the historical behaviour — but a long-running service
+should always set bounds: the disk store otherwise grows forever.
+
+The cache is thread-safe: a single reentrant lock serialises lookups,
+stores, and eviction, so one instance can back many concurrent engine
+calls (the multi-tenant service shares one warm cache across all
+tenants).
 """
 
 from __future__ import annotations
 
 import logging
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -36,7 +52,9 @@ class CacheStats:
     ``hits_disk`` (JSON store) — so a warm-cache run is distinguishable
     from a cold one that merely found its files on disk.  ``hits`` stays
     available as the sum for envelope compatibility.  ``corrupt`` counts
-    disk entries that could not be read back and were discarded.
+    disk entries that could not be read back and were discarded;
+    ``evictions`` counts entries dropped to honour ``max_entries`` /
+    ``max_bytes``.
     """
 
     hits_memory: int = 0
@@ -44,6 +62,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -69,6 +88,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
 
@@ -76,23 +96,50 @@ class CacheStats:
 class ResultCache:
     """In-memory + optional on-disk store of :class:`JobResult` by job hash.
 
-    ``obs`` (engine-propagated, default no-op) records one ``cache.lookup``
-    span per :meth:`get` tagged with its outcome — ``memory-hit``,
+    ``max_entries`` / ``max_bytes`` bound the store with LRU eviction (see
+    the module docstring); ``None`` means unbounded.  ``obs``
+    (engine-propagated, default no-op) records one ``cache.lookup`` span
+    per :meth:`get` tagged with its outcome — ``memory-hit``,
     ``disk-hit``, ``miss``, or ``corrupt`` — and matching per-outcome
     counters, so run reports show the hit rate by tier.
     """
 
-    def __init__(self, directory: str | Path | None = None):
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.directory = Path(directory) if directory is not None else None
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._memory: dict[str, JobResult] = {}
+        #: LRU bookkeeping: key -> on-disk size in bytes (0 for memory-only
+        #: entries), least-recently-used first.  Maintained only when a
+        #: bound is set — the unbounded cache pays nothing for it.
+        self._lru: OrderedDict[str, int] = OrderedDict()
+        self._disk_bytes = 0
+        self._lock = threading.RLock()
         self.stats = CacheStats()
         self.obs = NOOP
+        if self.bounded and self.directory is not None:
+            self._seed_lru()
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any size bound (and therefore LRU tracking) is active."""
+        return self.max_entries is not None or self.max_bytes is not None
 
     # ------------------------------------------------------------------
     def get(self, key: str, trace_parent: str | None = None) -> JobResult | None:
         """Look up a result; returns a cache-flagged copy or None."""
         span = self.obs.tracer.begin("cache.lookup", parent_id=trace_parent)
-        result, outcome = self._lookup(key)
+        with self._lock:
+            result, outcome = self._lookup(key)
         span.set("outcome", outcome)
         span.set("key", key[:16])
         self.obs.tracer.end(span)
@@ -103,6 +150,7 @@ class ResultCache:
         result = self._memory.get(key)
         if result is not None:
             self.stats.hits_memory += 1
+            self._touch(key)
             return result.cached_copy(), "memory-hit"
         if self.directory is not None:
             before = self.stats.corrupt
@@ -110,6 +158,16 @@ class ResultCache:
             if result is not None:
                 self._memory[key] = result
                 self.stats.hits_disk += 1
+                if self.bounded and key not in self._lru:
+                    # A file that appeared after init (another process'
+                    # store): adopt it so the bounds keep covering it.
+                    try:
+                        size = self._path(key).stat().st_size
+                    except OSError:  # pragma: no cover - raced deletion
+                        size = 0
+                    self._disk_bytes += size
+                    self._lru[key] = size
+                self._touch(key)
                 return result.cached_copy(), "disk-hit"
             if self.stats.corrupt > before:
                 self.stats.misses += 1
@@ -121,17 +179,86 @@ class ResultCache:
         """Store a freshly computed result under its job hash.
 
         The disk write goes through a same-directory temp file and
-        ``os.replace``, so readers only ever see complete entries.
+        ``os.replace``, so readers only ever see complete entries.  With
+        bounds set, storing may evict least-recently-used entries — never
+        the entry just stored.
         """
-        self._memory[key] = result
-        self.stats.stores += 1
-        if self.directory is not None:
-            atomic_write_json(self._path(key), result.to_dict())
+        with self._lock:
+            self._memory[key] = result
+            self.stats.stores += 1
+            size = 0
+            if self.directory is not None:
+                path = self._path(key)
+                atomic_write_json(path, result.to_dict())
+                if self.bounded:
+                    size = path.stat().st_size
+            if self.bounded:
+                self._disk_bytes += size - self._lru.pop(key, 0)
+                self._lru[key] = size
+                self._evict(keep=key)
         self.obs.metrics.counter("cache.stores").inc()
 
     def clear(self) -> None:
         """Drop the in-memory tier (disk files are left in place)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # LRU bookkeeping and eviction
+    # ------------------------------------------------------------------
+    def _seed_lru(self) -> None:
+        """Adopt a pre-existing cache directory in file-mtime order.
+
+        Oldest files become the least recently used, so a restarted
+        service resumes evicting exactly where the previous process would
+        have; the directory is also brought within bounds immediately.
+        """
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            entries.append((stat.st_mtime, path.stem, stat.st_size))
+        for _, key, size in sorted(entries):
+            self._lru[key] = size
+            self._disk_bytes += size
+        self._evict()
+
+    def _touch(self, key: str) -> None:
+        """Refresh one entry's recency (no-op for unbounded caches)."""
+        if self.bounded and key in self._lru:
+            self._lru.move_to_end(key)
+
+    def _evict(self, keep: str | None = None) -> None:
+        """Drop LRU entries until both bounds hold (``keep`` is immune)."""
+        if not self.bounded:
+            return
+        while self._over_bounds():
+            key = next(iter(self._lru))
+            if key == keep:
+                # The newest entry alone exceeds max_bytes: keep it (an
+                # empty cache would just recompute and re-store forever).
+                break
+            self._evict_one(key)
+
+    def _over_bounds(self) -> bool:
+        if not self._lru:
+            return False
+        if self.max_entries is not None and len(self._lru) > self.max_entries:
+            return True
+        return self.max_bytes is not None and self._disk_bytes > self.max_bytes
+
+    def _evict_one(self, key: str) -> None:
+        """Remove one entry from both tiers and count the eviction."""
+        size = self._lru.pop(key, 0)
+        self._disk_bytes -= size
+        self._memory.pop(key, None)
+        if self.directory is not None:
+            self._path(key).unlink(missing_ok=True)
+        self.stats.evictions += 1
+        self.obs.metrics.counter("cache.evictions").inc()
+        _log.debug("evicted cache entry %s (%d bytes)", key[:16], size)
 
     # ------------------------------------------------------------------
     def _read_disk(self, key: str) -> JobResult | None:
@@ -139,6 +266,8 @@ class ResultCache:
         result, corrupt = load_json_or_discard(self._path(key), JobResult.from_dict)
         if corrupt:
             self.stats.corrupt += 1
+            if self.bounded:
+                self._disk_bytes -= self._lru.pop(key, 0)
             _log.debug("discarded corrupt cache entry %s", key[:16])
         return result
 
@@ -149,6 +278,7 @@ class ResultCache:
         return len(self._memory)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._memory or (
-            self.directory is not None and self._path(key).exists()
-        )
+        with self._lock:
+            return key in self._memory or (
+                self.directory is not None and self._path(key).exists()
+            )

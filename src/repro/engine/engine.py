@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 import logging
 import math
+import threading
 import time
 from collections import Counter
 from concurrent.futures import as_completed as futures_as_completed
@@ -40,6 +41,7 @@ from collections.abc import Callable, Iterator, Mapping, Sequence
 
 from ..obs.runtime import NOOP, Observability
 from .cache import ResultCache
+from .cancel import CancelToken, JobCancelled
 from .job import Job, JobResult
 from .router import BackendChoice, BackendRouter
 from .runners import BatchExecutionError, BatchStats, execute_batch
@@ -151,7 +153,18 @@ class Engine:
         else:
             self.cache = None
         self.stats = EngineStats()
-        self._depth = 0  # top-level call nesting, for EngineStats.elapsed
+        #: Per-thread state: top-level call nesting (for EngineStats.elapsed)
+        #: and the active cancel scope.  Thread-local so concurrent engine
+        #: calls (the multi-tenant service) neither corrupt the depth guard
+        #: nor see each other's cancel tokens.
+        self._tls = threading.local()
+        self._stats_lock = threading.Lock()
+        #: Cross-call single flight: job hashes currently being computed
+        #: by some thread, each mapped to the event its joiners wait on.
+        #: This is what lets concurrent tenants on a shared service
+        #: engine compute identical jobs exactly once.
+        self._inflight: dict[str, threading.Event] = {}
+        self._inflight_lock = threading.Lock()
         self.obs = NOOP
         self.set_observability(obs)
 
@@ -167,11 +180,109 @@ class Engine:
             self.cache.obs = self.obs
 
     # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    @contextmanager
+    def cancel_scope(self, token: CancelToken | None):
+        """Apply ``token`` to every engine call on this thread in the block.
+
+        The form a serving layer uses when the engine calls happen deep
+        inside library code (:meth:`repro.api.Experiment.run`) that has no
+        ``cancel=`` parameter to thread through.  Scopes nest; the
+        innermost wins.  ``None`` is accepted and means "no scope".
+        """
+        previous = getattr(self._tls, "cancel", None)
+        self._tls.cancel = token if token is not None else previous
+        try:
+            yield token
+        finally:
+            self._tls.cancel = previous
+
+    def _cancel_for(self, explicit: CancelToken | None) -> CancelToken | None:
+        """The effective token: the explicit one, else the thread's scope."""
+        if explicit is not None:
+            return explicit
+        return getattr(self._tls, "cancel", None)
+
+    # ------------------------------------------------------------------
+    # Single flight (cross-call dedupe on the shared cache)
+    # ------------------------------------------------------------------
+    def _try_claim(self, key: str) -> tuple[bool, threading.Event | None]:
+        """Claim ``key``'s computation, or return the owner's event.
+
+        ``(True, None)`` means this thread owns the flight and must call
+        :meth:`_release` when the result is stored (or the attempt is
+        abandoned).  ``(False, event)`` means another thread is already
+        computing this hash; wait on ``event`` and read the cache.  With
+        no cache there is nothing to share, so every caller owns.
+        """
+        if self.cache is None:
+            return True, None
+        with self._inflight_lock:
+            event = self._inflight.get(key)
+            if event is None:
+                self._inflight[key] = threading.Event()
+                return True, None
+            return False, event
+
+    def _release(self, key: str) -> None:
+        """End ``key``'s flight and wake its joiners (idempotent)."""
+        if self.cache is None:
+            return
+        with self._inflight_lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def _join(self, event: threading.Event, cancel: CancelToken | None) -> None:
+        """Wait for another thread's flight, staying cancel-responsive."""
+        if cancel is None:
+            event.wait()
+            return
+        while not event.wait(0.05):
+            cancel.raise_if_cancelled()
+
+    def _compute_singleflight(
+        self,
+        job: Job,
+        key: str,
+        parent_id: str | None,
+        cancel: CancelToken | None,
+    ) -> JobResult:
+        """Compute one job, joining a concurrent identical computation.
+
+        The joiner is served from cache the moment the owner stores; if
+        the owner aborts without storing (failure, cancellation), the
+        joiner claims the flight itself and computes.
+        """
+        while True:
+            owned, event = self._try_claim(key)
+            if owned:
+                try:
+                    return self._run_uncached(
+                        job, key, parent_id=parent_id, cancel=cancel
+                    )
+                finally:
+                    self._release(key)
+            self._join(event, cancel)
+            hit = self._cache_hit(key, parent_id=parent_id)
+            if hit is not None:
+                return hit
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, job: Job) -> JobResult:
-        """Execute one job (or serve it from cache)."""
+    def run(self, job: Job, *, cancel: CancelToken | None = None) -> JobResult:
+        """Execute one job (or serve it from cache).
+
+        ``cancel`` (or an enclosing :meth:`cancel_scope`) cooperatively
+        aborts between batches with
+        :class:`~repro.engine.cancel.JobCancelled`.
+        """
+        cancel = self._cancel_for(cancel)
         with self._toplevel():
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             key = job.content_hash()
             tracer = self.obs.tracer
             span = tracer.begin("engine.run", job_hash=key[:16], shots=job.shots)
@@ -181,14 +292,20 @@ class Engine:
                 if hit is not None:
                     span.set("cache", "hit")
                     return hit
-                return self._run_uncached(job, key, parent_id=span.span_id)
+                return self._compute_singleflight(job, key, span.span_id, cancel)
             except BaseException as exc:
                 error = exc
                 raise
             finally:
                 tracer.end(span, error=error)
 
-    def run_many(self, jobs: Sequence[Job], *, pipeline: bool = True) -> list[JobResult]:
+    def run_many(
+        self,
+        jobs: Sequence[Job],
+        *,
+        pipeline: bool = True,
+        cancel: CancelToken | None = None,
+    ) -> list[JobResult]:
         """Execute several jobs; all jobs' batches share the worker pool.
 
         With ``pipeline=True`` (the default) every batch of every
@@ -200,13 +317,15 @@ class Engine:
         jobs = list(jobs)
         if not pipeline:
             with self._toplevel():
-                return [self.run(job) for job in jobs]
+                return [self.run(job, cancel=cancel) for job in jobs]
         results: list[JobResult | None] = [None] * len(jobs)
-        for index, result in self.as_completed(jobs):
+        for index, result in self.as_completed(jobs, cancel=cancel):
             results[index] = result
         return results
 
-    def as_completed(self, jobs: Sequence[Job]) -> Iterator[tuple[int, JobResult]]:
+    def as_completed(
+        self, jobs: Sequence[Job], *, cancel: CancelToken | None = None
+    ) -> Iterator[tuple[int, JobResult]]:
         """Yield ``(job_index, JobResult)`` pairs in completion order.
 
         Cache hits are yielded immediately; the remaining jobs' batches
@@ -215,6 +334,11 @@ class Engine:
         can report progress incrementally.  When the cache is enabled,
         duplicate jobs inside one call are computed once and the repeats
         served as cache hits — exactly what the serial path would do.
+        Duplicates *across* concurrent calls (two tenants of a shared
+        service engine sweeping overlapping grids) are deduped the same
+        way: a job some other thread is already computing is joined and
+        served from the cache when that computation stores, so identical
+        physics is computed exactly once engine-wide.
         Under pipelining a job's ``elapsed`` is its submission-to-reduce
         latency on the shared pool (batches of different jobs interleave),
         not the time a dedicated pool would have needed.
@@ -222,9 +346,13 @@ class Engine:
         On the first batch failure every outstanding future is cancelled
         and drained, then a
         :class:`~repro.engine.runners.BatchExecutionError` naming the
-        failed ``(job_index, batch_index)`` propagates.
+        failed ``(job_index, batch_index)`` propagates.  A tripped
+        ``cancel`` token likewise cancels and drains, then raises
+        :class:`~repro.engine.cancel.JobCancelled` — the service's
+        ``DELETE /jobs/{id}`` path.
         """
         jobs = list(jobs)
+        cancel = self._cancel_for(cancel)
         with self._toplevel():
             tracer = self.obs.tracer
             root = tracer.begin(
@@ -236,7 +364,7 @@ class Engine:
             )
             error = None
             try:
-                yield from self._as_completed(jobs, root.span_id)
+                yield from self._as_completed(jobs, root.span_id, cancel)
             except BaseException as exc:
                 error = exc
                 raise
@@ -244,8 +372,10 @@ class Engine:
                 tracer.end(root, error=error)
 
     def _as_completed(
-        self, jobs: list[Job], parent_id: str | None
+        self, jobs: list[Job], parent_id: str | None, cancel: CancelToken | None = None
     ) -> Iterator[tuple[int, JobResult]]:
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         pending: list[tuple[int, Job, str]] = []
         pending_keys: set[str] = set()
         for index, job in enumerate(jobs):
@@ -272,11 +402,11 @@ class Engine:
                     # of a job computed in this call are served from cache.
                     yield index, self._cache_hit(key, parent_id=parent_id)
                     continue
-                yield index, self._run_uncached(job, key, parent_id=parent_id)
+                yield index, self._compute_singleflight(job, key, parent_id, cancel)
                 if self.cache is not None:
                     computed.add(key)
             return
-        yield from self._pipeline(pending, parent_id)
+        yield from self._pipeline(pending, parent_id, cancel)
 
     def sweep(
         self,
@@ -284,6 +414,7 @@ class Engine:
         grid: Mapping[str, Sequence],
         *,
         pipeline: bool = True,
+        cancel: CancelToken | None = None,
     ) -> list[SweepPoint]:
         """Run ``make_job(**params)`` over the cartesian product of ``grid``.
 
@@ -294,7 +425,7 @@ class Engine:
         params_list = list(grid_points(grid))
         jobs = [make_job(**params) for params in params_list]
         with self._toplevel():
-            results = self.run_many(jobs, pipeline=pipeline)
+            results = self.run_many(jobs, pipeline=pipeline, cancel=cancel)
         return [
             SweepPoint(params=params, result=result)
             for params, result in zip(params_list, results)
@@ -305,23 +436,27 @@ class Engine:
         """Accumulate ``stats.elapsed`` on the outermost engine call only.
 
         ``sweep`` → ``run_many`` → ``as_completed`` all pass through here;
-        the depth guard makes sure true wall clock is counted exactly once
-        per user-facing call, never summed across the nesting.
+        the depth guard (per thread, so concurrent service calls do not
+        corrupt each other's nesting) makes sure true wall clock is
+        counted exactly once per user-facing call, never summed across
+        the nesting.
         """
-        self._depth += 1
+        depth = getattr(self._tls, "depth", 0)
+        self._tls.depth = depth + 1
         start = time.perf_counter()
         try:
             yield
         finally:
-            self._depth -= 1
-            if self._depth == 0:
-                self.stats.elapsed += time.perf_counter() - start
+            self._tls.depth = depth
+            if depth == 0:
+                with self._stats_lock:
+                    self.stats.elapsed += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Pipelined execution internals
     # ------------------------------------------------------------------
     def _pipeline(
-        self, pending, parent_id: str | None = None
+        self, pending, parent_id: str | None = None, cancel: CancelToken | None = None
     ) -> Iterator[tuple[int, JobResult]]:
         """Fan all batches of all pending jobs across the shared pool."""
         # Within-run dedupe: with a cache, one computation per distinct
@@ -340,8 +475,26 @@ class Engine:
         else:
             submit = pending
 
+        # Cross-call single flight: a key some other thread is already
+        # computing is joined (awaited after our own work, then served
+        # from cache) instead of recomputed — the cross-tenant dedupe a
+        # shared service engine relies on.  Claims are released the
+        # moment each job's result is stored, so joiners never wait past
+        # the store.
+        owned: list[tuple[int, Job, str]] = []
+        joined: list[tuple[tuple[int, Job, str], threading.Event]] = []
+        claimed: set[str] = set()
+        for entry in submit:
+            is_owner, event = self._try_claim(entry[2])
+            if is_owner:
+                owned.append(entry)
+                if self.cache is not None:
+                    claimed.add(entry[2])
+            else:
+                joined.append((entry, event))
+
         # Routing happens up front so a bad job fails before anything runs.
-        routed = [(index, job, key, self.router.select(job)) for index, job, key in submit]
+        routed = [(index, job, key, self.router.select(job)) for index, job, key in owned]
         inline = [entry for entry in routed if entry[3].name == "density"]
         pooled = [entry for entry in routed if entry[3].name != "density"]
 
@@ -352,6 +505,8 @@ class Engine:
             # Submission happens inside the try so a mid-loop failure
             # (e.g. a broken process pool) still cancels what went in.
             for index, job, key, choice in pooled:
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
                 batches = self.scheduler.plan(job)
                 job_span = tracer.begin(
                     "engine.job",
@@ -386,6 +541,8 @@ class Engine:
                 )
                 batch_stats = []
                 for batch in self.scheduler.plan(job):
+                    if cancel is not None:
+                        cancel.raise_if_cancelled()
                     if tracer.enabled:
                         ctx = tracer.batch_context(job_span.span_id)
                         stats = execute_batch(job, batch, choice.name, trace=ctx)
@@ -402,10 +559,16 @@ class Engine:
                     parent_id=job_span.span_id,
                 )
                 tracer.end(job_span)
+                self._release(key)
+                claimed.discard(key)
                 yield index, result
                 yield from self._serve_duplicates(duplicates, key, parent_id)
 
             for future in futures_as_completed(future_map):
+                if cancel is not None and cancel.cancelled:
+                    # The except-handler below cancels every queued batch
+                    # and drains the running ones before this propagates.
+                    raise JobCancelled("job cancelled by its cancel token")
                 index, batch, ctx, submitted = future_map[future]
                 try:
                     batch_stats = future.result()
@@ -433,8 +596,30 @@ class Engine:
                     )
                     tracer.end(state.span)
                     state.span = None
+                    self._release(state.key)
+                    claimed.discard(state.key)
                     yield index, result
                     yield from self._serve_duplicates(duplicates, state.key, parent_id)
+
+            # Our own work is done (and its claims released), so waiting
+            # on other threads' flights cannot deadlock.
+            for (index, job, key), event in joined:
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                self._join(event, cancel)
+                hit = self._cache_hit(key, parent_id=parent_id)
+                if hit is None:
+                    # The owner aborted without storing (failure or
+                    # cancellation): compute it here after all.
+                    hit = self._compute_singleflight(job, key, parent_id, cancel)
+                elif tracer.enabled:
+                    tracer.event(
+                        "engine.singleflight_join",
+                        parent_id=parent_id,
+                        job_hash=key[:16],
+                    )
+                yield index, hit
+                yield from self._serve_duplicates(duplicates, key, parent_id)
         except GeneratorExit:
             # An abandoned generator must not leave batches queued — but
             # close() must not block on running ones either.
@@ -456,6 +641,11 @@ class Engine:
                         state.span = None
             self.scheduler.cancel_and_drain(future_map)
             raise
+        finally:
+            # Abandoned claims (failure, cancellation, a closed stream)
+            # must wake their joiners so one of them can take over.
+            for key in claimed:
+                self._release(key)
 
     def _record_batch(self, state, batch, stats, ctx, latency: float) -> None:
         """Stitch one pooled batch into the trace, parent-side view first.
@@ -502,12 +692,17 @@ class Engine:
         hit = self.cache.get(key, trace_parent=parent_id)
         if hit is None:
             return None
-        self.stats.jobs += 1
-        self.stats.cached_jobs += 1
+        with self._stats_lock:
+            self.stats.jobs += 1
+            self.stats.cached_jobs += 1
         return hit
 
     def _run_uncached(
-        self, job: Job, key: str, parent_id: str | None = None
+        self,
+        job: Job,
+        key: str,
+        parent_id: str | None = None,
+        cancel: CancelToken | None = None,
     ) -> JobResult:
         tracer = self.obs.tracer
         choice = self.router.select(job)
@@ -522,7 +717,7 @@ class Engine:
         error = None
         try:
             batch_stats = self.scheduler.execute(
-                job, choice.name, trace_parent=span.span_id
+                job, choice.name, trace_parent=span.span_id, cancel=cancel
             )
             return self._finish(
                 job,
@@ -554,12 +749,13 @@ class Engine:
             self.cache.put(key, result)
         tracer.end(span)
         self.obs.metrics.histogram("engine.job_latency").observe(elapsed)
-        self.stats.jobs += 1
-        self.stats.shots += job.shots
-        self.stats.wall_time += elapsed
-        self.stats.compile_time += result.compile_time
-        self.stats.execute_time += result.execute_time
-        self.stats.backends[choice.name] += 1
+        with self._stats_lock:
+            self.stats.jobs += 1
+            self.stats.shots += job.shots
+            self.stats.wall_time += elapsed
+            self.stats.compile_time += result.compile_time
+            self.stats.execute_time += result.execute_time
+            self.stats.backends[choice.name] += 1
         return result
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import logging
 import math
+import threading
 from concurrent.futures import (
     FIRST_EXCEPTION,
     Executor,
@@ -36,6 +37,7 @@ from concurrent.futures import (
 )
 
 from ..obs.runtime import NOOP
+from .cancel import CancelToken
 from .job import Job
 from .runners import Batch, BatchExecutionError, BatchStats, execute_batch
 
@@ -65,6 +67,7 @@ class Scheduler:
         self.executor_kind = executor
         self.obs = NOOP
         self._pool: Executor | None = None
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -100,19 +103,28 @@ class Scheduler:
         return self._ensure_pool().submit(execute_batch, job, batch, backend, trace)
 
     def execute(
-        self, job: Job, backend: str, trace_parent: str | None = None
+        self,
+        job: Job,
+        backend: str,
+        trace_parent: str | None = None,
+        cancel: CancelToken | None = None,
     ) -> list[BatchStats]:
         """Run every batch of ``job`` on ``backend``; stats in index order.
 
         ``trace_parent`` parents the adopted worker-side spans (the
         single-job path; the engine's cross-job pipeline does its own
-        adoption to interleave batches of many jobs).
+        adoption to interleave batches of many jobs).  ``cancel`` is
+        checked between inline batches and before a pooled submission —
+        batch-granular cooperative cancellation; a tripped token raises
+        :class:`~repro.engine.cancel.JobCancelled`.
         """
         batches = self.plan(job)
         tracer = self.obs.tracer
         if not self.pooled or len(batches) <= 1 or backend == "density":
             ordered = []
             for batch in batches:
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
                 if tracer.enabled:
                     ctx = tracer.batch_context(trace_parent)
                     stats = execute_batch(job, batch, backend, trace=ctx)
@@ -123,6 +135,8 @@ class Scheduler:
                     stats = execute_batch(job, batch, backend)
                 ordered.append(stats)
             return ordered
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         futures = {
             self.submit(
                 job,
@@ -179,12 +193,15 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            if self.executor_kind == "process":
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            else:
-                self._pool = ThreadPoolExecutor(max_workers=self.workers)
-        return self._pool
+        # Guarded: concurrent engine calls (the multi-tenant service) must
+        # never race two pools into existence and leak one.
+        with self._pool_lock:
+            if self._pool is None:
+                if self.executor_kind == "process":
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                else:
+                    self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            return self._pool
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""

@@ -1,0 +1,47 @@
+"""Experiment service: the async multi-tenant front door over the Engine.
+
+Everything a server needs already existed in the library —
+content-hashed jobs, a lossless JSON result envelope, a deduping cache,
+a streaming engine — and this package is the serving layer on top:
+
+* :mod:`~repro.service.specparse` — untrusted submission JSON to
+  validated :class:`~repro.api.Experiment` (client-safe errors only);
+* :mod:`~repro.service.queue` — weighted round-robin fairness with
+  per-tenant quotas;
+* :mod:`~repro.service.core` — the job runner: dedupe on content-derived
+  ids, cooperative cancellation, streaming sweeps, request metrics;
+* :mod:`~repro.service.http` — the stdlib asyncio HTTP API
+  (``POST /jobs``, poll, NDJSON event stream, ``DELETE``, ``/metrics``,
+  ``/healthz``).
+
+Start one in-process (tests, notebooks, the example)::
+
+    from repro.service import ExperimentService, ServiceConfig, ServiceServer
+
+    service = ExperimentService(ServiceConfig(engine_workers=4))
+    with ServiceServer(service) as server:
+        ...  # POST specs at server.base_url
+"""
+
+from .config import ServiceConfig, SpecLimits, TenantQuota
+from .core import ExperimentService
+from .http import ServiceServer, serve
+from .jobs import JobRecord, States
+from .queue import FairQueue, QuotaExceeded
+from .specparse import SpecError, Submission, parse_submission
+
+__all__ = [
+    "ExperimentService",
+    "FairQueue",
+    "JobRecord",
+    "QuotaExceeded",
+    "ServiceConfig",
+    "ServiceServer",
+    "SpecError",
+    "SpecLimits",
+    "States",
+    "Submission",
+    "TenantQuota",
+    "parse_submission",
+    "serve",
+]

@@ -1,0 +1,109 @@
+"""Service configuration: engine sizing, cache bounds, quotas, limits.
+
+Everything the front door needs to know that is *not* in an individual
+request lives here, as plain frozen dataclasses: how big the shared
+engine pool is, where (and how large) the shared warm cache is, how much
+each tenant may queue and run at once, and how hostile a spec is allowed
+to be before parsing rejects it outright.
+
+The defaults are sized for tests and examples (small pool, tight spec
+limits); a deployment overrides them explicitly.  ``SpecLimits`` is the
+abuse boundary: requests are untrusted JSON, so the parser bounds shot
+budgets, state widths, party counts, and sweep sizes *before* any numpy
+allocation happens — a hostile spec must cost parsing time, not memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ServiceConfig", "SpecLimits", "TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission and scheduling policy.
+
+    ``weight`` is the tenant's share in the weighted round-robin (a
+    weight-2 tenant drains twice as many jobs per rotation as a
+    weight-1 one); ``max_queued`` bounds jobs waiting in the fair queue
+    and ``max_running`` bounds jobs concurrently executing — both per
+    tenant, both enforced at submission/acquisition time.
+    """
+
+    weight: int = 1
+    max_queued: int = 16
+    max_running: int = 2
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        if self.weight < 1:
+            raise ValueError("quota weight must be positive")
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be positive")
+        if self.max_running < 1:
+            raise ValueError("max_running must be positive")
+
+
+@dataclass(frozen=True)
+class SpecLimits:
+    """Hard bounds applied to untrusted experiment specs at parse time."""
+
+    max_shots: int = 1_000_000
+    max_qubits: int = 12
+    max_parties: int = 16
+    max_sweep_points: int = 256
+    max_tenant_len: int = 64
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        for name in ("max_shots", "max_qubits", "max_parties", "max_sweep_points",
+                     "max_tenant_len"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything one :class:`~repro.service.ExperimentService` is built from.
+
+    ``concurrency`` is the number of jobs executing at once (each job
+    then fans its batches across the shared engine's ``engine_workers``
+    pool).  ``quotas`` maps tenant name to a :class:`TenantQuota`;
+    unknown tenants get ``default_quota``.  ``cache_max_entries`` /
+    ``cache_max_bytes`` bound the shared warm cache (LRU eviction);
+    ``max_body_bytes`` caps a request body before JSON parsing, and
+    ``max_jobs_retained`` caps finished job records kept for polling.
+    """
+
+    engine_workers: int = 2
+    executor: str = "thread"
+    concurrency: int = 2
+    cache_dir: str | Path | None = None
+    cache_max_entries: int | None = 1024
+    cache_max_bytes: int | None = None
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: dict = field(default_factory=dict)
+    limits: SpecLimits = field(default_factory=SpecLimits)
+    max_body_bytes: int = 8 * 1024 * 1024
+    max_jobs_retained: int = 1024
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any invalid field."""
+        if self.engine_workers < 1:
+            raise ValueError("engine_workers must be positive")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be positive")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        if self.max_jobs_retained < 1:
+            raise ValueError("max_jobs_retained must be positive")
+        self.default_quota.validate()
+        for quota in self.quotas.values():
+            quota.validate()
+        self.limits.validate()
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The quota governing ``tenant`` (the default when unlisted)."""
+        return self.quotas.get(tenant, self.default_quota)

@@ -1,0 +1,176 @@
+"""Job records: the service-side lifecycle of one submission.
+
+A :class:`JobRecord` is the mutable, lock-guarded state shared between
+the HTTP layer (submitting, polling, streaming, cancelling) and the
+worker executing the job.  States move strictly forward::
+
+    queued -> running -> done | failed
+    queued | running  -> cancelled
+
+Every state change and every finished sweep point is appended to the
+record's event log, an append-only list consumed by the streaming
+endpoint via :meth:`JobRecord.events_since` — a cursor interface, so any
+number of stream readers (including ones that connect after completion)
+replay the same events without coordination.  Failure messages carry
+``str(exc)`` only, never a traceback: what a tenant sees must not leak
+server internals.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..engine import CancelToken
+from .specparse import Submission
+
+__all__ = ["JobRecord", "States"]
+
+
+class States:
+    """The job lifecycle vocabulary (terminal: done/failed/cancelled)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass
+class JobRecord:
+    """One submission's full service-side state."""
+
+    submission: Submission
+    state: str = States.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    cancel: CancelToken = field(default_factory=CancelToken)
+    error: str | None = None
+    result: dict | None = None
+    #: Every tenant that submitted (or joined via dedupe) this job.
+    tenants: set = field(default_factory=set)
+    _events: list = field(default_factory=list)
+    _wakers: list = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _changed: threading.Condition = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._changed = threading.Condition(self._lock)
+        self.tenants.add(self.submission.tenant)
+        self._events.append({"event": "queued", "job_id": self.job_id})
+
+    # ------------------------------------------------------------------
+    @property
+    def job_id(self) -> str:
+        return self.submission.job_id
+
+    @property
+    def terminal(self) -> bool:
+        with self._lock:
+            return self.state in States.TERMINAL
+
+    def join(self, tenant: str) -> None:
+        """Record one more tenant riding this (deduped) job."""
+        with self._lock:
+            self.tenants.add(tenant)
+
+    # ------------------------------------------------------------------
+    # Worker-side transitions
+    # ------------------------------------------------------------------
+    def mark_running(self) -> bool:
+        """queued -> running; False if the job was cancelled first."""
+        with self._lock:
+            if self.state != States.QUEUED:
+                return False
+            self.state = States.RUNNING
+            self.started_at = time.time()
+            self._publish({"event": "running", "job_id": self.job_id})
+            return True
+
+    def mark_done(self, result: dict) -> None:
+        """running -> done, with the JSON-safe result envelope."""
+        self._finish(States.DONE, result=result)
+
+    def mark_failed(self, message: str) -> None:
+        """running -> failed; ``message`` must already be client-safe."""
+        self._finish(States.FAILED, error=message)
+
+    def mark_cancelled(self) -> None:
+        """queued/running -> cancelled (idempotent on terminal states)."""
+        self._finish(States.CANCELLED)
+
+    def _finish(self, state: str, result: dict | None = None,
+                error: str | None = None) -> None:
+        with self._lock:
+            if self.state in States.TERMINAL:
+                return
+            self.state = state
+            self.result = result
+            self.error = error
+            self.finished_at = time.time()
+            event = {"event": state, "job_id": self.job_id}
+            if error is not None:
+                event["error"] = error
+            self._publish(event)
+
+    # ------------------------------------------------------------------
+    # Event streaming
+    # ------------------------------------------------------------------
+    def publish(self, event: dict) -> None:
+        """Append one event (e.g. a finished sweep point) to the log."""
+        with self._lock:
+            self._publish(event)
+
+    def _publish(self, event: dict) -> None:
+        self._events.append(event)
+        self._changed.notify_all()
+        for waker in self._wakers:
+            waker()
+
+    def add_waker(self, waker) -> None:
+        """Register a thread-safe callable invoked on every new event.
+
+        The asyncio HTTP layer registers ``loop.call_soon_threadsafe``
+        wrappers here so worker-thread events wake streaming responses
+        without polling.
+        """
+        with self._lock:
+            self._wakers.append(waker)
+
+    def events_since(self, cursor: int) -> tuple[list, int, bool]:
+        """Events after ``cursor``: ``(chunk, new_cursor, finished)``."""
+        with self._lock:
+            chunk = self._events[cursor:]
+            return chunk, len(self._events), self.state in States.TERMINAL
+
+    # ------------------------------------------------------------------
+    def latency(self) -> float | None:
+        """Submit-to-complete wall time, once terminal."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def to_dict(self) -> dict:
+        """The polling view (``GET /jobs/{id}``), JSON-safe."""
+        with self._lock:
+            payload = {
+                "job_id": self.job_id,
+                "state": self.state,
+                "kind": self.submission.experiment.kind,
+                "sweep": self.submission.is_sweep,
+                "tenants": sorted(self.tenants),
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "events": len(self._events),
+            }
+            if self.error is not None:
+                payload["error"] = self.error
+            if self.result is not None:
+                payload["result"] = self.result
+            return payload

@@ -1,0 +1,136 @@
+"""Weighted round-robin fair queue with per-tenant quotas.
+
+The admission and scheduling policy between the HTTP front door and the
+shared engine pool.  Each tenant owns a FIFO of queued jobs; workers draw
+via a weighted round-robin over the tenants that currently have both
+queued work and running headroom, so one tenant flooding the queue can
+delay only its own jobs — another tenant's single submission is at most
+one rotation away from a worker.  Weights skew the rotation: a weight-2
+tenant drains two jobs per visit, a weight-1 tenant one.
+
+Quotas are enforced at both edges: ``submit`` rejects (with
+:class:`QuotaExceeded`, the HTTP 429) when the tenant's ``max_queued``
+backlog is full, and ``acquire`` skips tenants at their ``max_running``
+concurrency until a ``release`` frees a slot.  The queue is purely
+synchronous and lock-guarded; the asyncio service polls ``acquire`` on a
+kick event, so no asyncio types leak in here and the queue is unit
+testable without an event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+from .config import ServiceConfig
+from .jobs import JobRecord, States
+
+__all__ = ["FairQueue", "QuotaExceeded"]
+
+
+class QuotaExceeded(Exception):
+    """A tenant exceeded its admission quota; the message is client-safe."""
+
+
+class FairQueue:
+    """Per-tenant FIFOs drained by weighted round-robin under quotas."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self._lock = threading.Lock()
+        #: tenant -> deque[JobRecord]; OrderedDict so the rotation order
+        #: is stable and independent of dict hashing.
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._running: dict[str, int] = {}
+        #: The rotation cursor: tenants after this one are served first.
+        self._rotation: list[str] = []
+        #: Jobs drained by the front tenant since it reached the front
+        #: (the weighted part of the round-robin).
+        self._served: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def submit(self, record: JobRecord) -> None:
+        """Admit one job to its tenant's FIFO (or raise QuotaExceeded)."""
+        tenant = record.submission.tenant
+        quota = self.config.quota_for(tenant)
+        with self._lock:
+            backlog = self._queues.get(tenant)
+            if backlog is not None and len(backlog) >= quota.max_queued:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} already has {len(backlog)} queued job(s) "
+                    f"(max_queued={quota.max_queued})"
+                )
+            if backlog is None:
+                backlog = self._queues.setdefault(tenant, deque())
+                self._rotation.append(tenant)
+            backlog.append(record)
+
+    def acquire(self) -> JobRecord | None:
+        """The next runnable job under the rotation, or None.
+
+        Skips tenants at their ``max_running`` cap and silently drops
+        jobs cancelled while queued (their records are already terminal;
+        computing them would waste the pool).  The successful tenant is
+        rotated to the back, weighted: a tenant keeps its front-of-line
+        position until it has drained ``weight`` jobs in a row.
+        """
+        with self._lock:
+            for _ in range(len(self._rotation)):
+                tenant = self._rotation[0]
+                record = self._acquire_from(tenant)
+                if record is not None:
+                    return record
+                # Tenant has nothing runnable right now: rotate past it.
+                self._rotation.append(self._rotation.pop(0))
+            return None
+
+    def _acquire_from(self, tenant: str) -> JobRecord | None:
+        quota = self.config.quota_for(tenant)
+        backlog = self._queues.get(tenant)
+        if not backlog or self._running.get(tenant, 0) >= quota.max_running:
+            return None
+        while backlog:
+            record = backlog.popleft()
+            if record.state != States.QUEUED:
+                continue  # cancelled while queued
+            self._running[tenant] = self._running.get(tenant, 0) + 1
+            self._served[tenant] = self._served.get(tenant, 0) + 1
+            if self._served[tenant] >= quota.weight:
+                self._served[tenant] = 0
+                self._rotation.append(self._rotation.pop(0))
+            return record
+        return None
+
+    def release(self, record: JobRecord) -> None:
+        """Return one tenant's running slot after its job finishes."""
+        tenant = record.submission.tenant
+        with self._lock:
+            count = self._running.get(tenant, 0)
+            if count <= 1:
+                self._running.pop(tenant, None)
+            else:
+                self._running[tenant] = count - 1
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Total queued (not yet running) jobs across all tenants."""
+        with self._lock:
+            return sum(
+                sum(1 for record in backlog if record.state == States.QUEUED)
+                for backlog in self._queues.values()
+            )
+
+    def depths(self) -> dict[str, int]:
+        """Queued-job count per tenant (zero-depth tenants omitted)."""
+        with self._lock:
+            depths = {}
+            for tenant, backlog in self._queues.items():
+                count = sum(1 for record in backlog if record.state == States.QUEUED)
+                if count:
+                    depths[tenant] = count
+            return depths
+
+    def running(self) -> dict[str, int]:
+        """Currently executing jobs per tenant."""
+        with self._lock:
+            return dict(self._running)

@@ -1,0 +1,458 @@
+"""Parsing untrusted submission JSON into validated experiments.
+
+The service boundary: everything arriving here is attacker-controlled
+bytes, and everything leaving is a validated
+:class:`~repro.api.Experiment` (plus normalised sweep axes) or a
+:class:`SpecError` whose message is safe to return verbatim in a 4xx
+body.  Three rules govern the code:
+
+* **bound before you build** — structural sizes (state widths, party
+  counts, sweep cardinality, shot budgets) are checked against
+  :class:`~repro.service.config.SpecLimits` before any numpy array is
+  allocated, so a hostile spec costs parsing time, not memory;
+* **every internal exception is wrapped** — ``TypeError`` / ``KeyError``
+  / ``ValueError`` / ``OverflowError`` raised by spec constructors
+  surface as :class:`SpecError`, never as a stack trace in an HTTP body;
+* **ids come from content** — the job id digests the *canonical*
+  experiment (pool-only options normalised away, the sweep-checkpoint
+  discipline) plus the sweep axes, so two tenants submitting the same
+  physics get the same job id and share one computation.
+
+The wire schema mirrors the internal spec dataclasses field-for-field::
+
+    {
+      "tenant": "alice",
+      "experiment": {
+        "kind": "ghz_fidelity",
+        "payload": {"num_parties": 4},
+        "protocol": {"variant": "d", ...},      # optional, all fields optional
+        "noise": {"p1": 0.001, ...},            # optional; or {"p": base_rate}
+        "network": {"topology": "line", ...},   # optional
+        "options": {"shots": 2000, "seed": 7}   # optional
+      },
+      "sweep": {"over": "p", "values": [...]}   # optional; or {"grid": {...}}
+      "with_exact": false                       # optional
+    }
+
+Complex payload entries use the result-envelope tagging
+(``{"__complex__": [re, im]}``); state vectors and density matrices are
+plain nested lists of numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..api import Experiment, NetworkSpec, NoiseSpec, ProtocolSpec, RunOptions, stable_hash
+from ..api.result import _decode, _encode
+from .config import SpecLimits
+
+__all__ = ["SpecError", "Submission", "parse_submission"]
+
+_JOB_ID_TAG = "repro-service-job-v1"
+
+
+class SpecError(ValueError):
+    """An invalid or hostile submission; the message is client-safe."""
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One parsed, validated request: what to run and who asked."""
+
+    tenant: str
+    experiment: Experiment
+    sweep: dict | None
+    with_exact: bool
+    job_id: str
+
+    @property
+    def is_sweep(self) -> bool:
+        """Whether this submission runs a grid rather than a single point."""
+        return self.sweep is not None
+
+
+# ----------------------------------------------------------------------
+# Bounded coercion helpers (never allocate past the limits)
+# ----------------------------------------------------------------------
+def _fail(message: str) -> SpecError:
+    return SpecError(message)
+
+
+def _require_mapping(value, what: str) -> dict:
+    if not isinstance(value, dict):
+        raise _fail(f"{what} must be a JSON object, got {type(value).__name__}")
+    return value
+
+
+def _as_int(value, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(f"{what} must be an integer")
+    return value
+
+
+def _check_vector(value, limits: SpecLimits, what: str) -> None:
+    """Structural pre-check of one state vector (no allocation yet)."""
+    if not isinstance(value, (list, tuple)):
+        raise _fail(f"{what} must be a list of amplitudes")
+    if len(value) > 2**limits.max_qubits:
+        raise _fail(
+            f"{what} has dimension {len(value)}, exceeding the "
+            f"{limits.max_qubits}-qubit limit"
+        )
+
+
+def _check_matrix(value, limits: SpecLimits, what: str) -> None:
+    """Structural pre-check of one density matrix (no allocation yet)."""
+    if not isinstance(value, (list, tuple)):
+        raise _fail(f"{what} must be a nested list (a matrix)")
+    if len(value) > 2**limits.max_qubits:
+        raise _fail(
+            f"{what} has dimension {len(value)}, exceeding the "
+            f"{limits.max_qubits}-qubit limit"
+        )
+    for row in value:
+        _check_vector(row, limits, f"each row of {what}")
+
+
+def _as_array(value, what: str, ndim: int) -> np.ndarray:
+    """Coerce a pre-checked nested list into a complex array, safely."""
+    try:
+        array = np.asarray(value, dtype=complex)
+    except (ValueError, TypeError, OverflowError) as exc:
+        raise _fail(f"{what} is not a rectangular numeric array: {exc}") from None
+    if array.ndim != ndim:
+        raise _fail(f"{what} must have {ndim} dimension(s), got {array.ndim}")
+    return array
+
+
+def _check_parties(count: int, limits: SpecLimits, what: str) -> int:
+    count = _as_int(count, what)
+    if not 1 <= count <= limits.max_parties:
+        raise _fail(f"{what} must be in [1, {limits.max_parties}], got {count}")
+    return count
+
+
+# ----------------------------------------------------------------------
+# Per-kind payload coercion (JSON -> the internal canonical payload)
+# ----------------------------------------------------------------------
+def _payload_swap_test(payload: dict, limits: SpecLimits) -> dict:
+    states = payload.get("states")
+    if not isinstance(states, (list, tuple)) or len(states) < 2:
+        raise _fail("swap_test payload needs 'states': a list of >= 2 state vectors")
+    if len(states) > limits.max_parties:
+        raise _fail(f"too many states: {len(states)} > max_parties={limits.max_parties}")
+    for index, state in enumerate(states):
+        _check_vector(state, limits, f"states[{index}]")
+    return {"states": tuple(_as_array(s, f"states[{i}]", 1) for i, s in enumerate(states))}
+
+
+def _payload_trace_sum(payload: dict, limits: SpecLimits) -> dict:
+    groups = payload.get("groups")
+    weights = payload.get("weights")
+    if not isinstance(groups, (list, tuple)) or not groups:
+        raise _fail("trace_sum payload needs 'groups': a list of state-vector groups")
+    if not isinstance(weights, (list, tuple)) or len(weights) != len(groups):
+        raise _fail("trace_sum payload needs 'weights' matching 'groups' in length")
+    if len(groups) > limits.max_parties:
+        raise _fail(f"too many groups: {len(groups)} > max_parties={limits.max_parties}")
+    coerced_groups = []
+    for g_index, group in enumerate(groups):
+        if not isinstance(group, (list, tuple)) or len(group) > limits.max_parties:
+            raise _fail(f"groups[{g_index}] must be a list of at most "
+                        f"{limits.max_parties} state vectors")
+        for s_index, state in enumerate(group):
+            _check_vector(state, limits, f"groups[{g_index}][{s_index}]")
+        coerced_groups.append(tuple(
+            _as_array(s, f"groups[{g_index}][{i}]", 1) for i, s in enumerate(group)
+        ))
+    try:
+        coerced_weights = tuple(complex(w) for w in weights)
+    except (TypeError, ValueError) as exc:
+        raise _fail(f"weights must be numbers: {exc}") from None
+    return {"groups": tuple(coerced_groups), "weights": coerced_weights}
+
+
+def _payload_renyi(payload: dict, limits: SpecLimits) -> dict:
+    _check_matrix(payload.get("rho"), limits, "rho")
+    order = _check_parties(payload.get("order"), limits, "order")
+    return {"rho": _as_array(payload["rho"], "rho", 2), "order": order}
+
+
+def _payload_spectroscopy(payload: dict, limits: SpecLimits) -> dict:
+    _check_vector(payload.get("state"), limits, "state")
+    keep = payload.get("keep")
+    if not isinstance(keep, (list, tuple)) or not keep:
+        raise _fail("spectroscopy payload needs 'keep': a non-empty list of qubit indices")
+    num_qubits = _as_int(payload.get("num_qubits"), "num_qubits")
+    if not 1 <= num_qubits <= limits.max_qubits:
+        raise _fail(f"num_qubits must be in [1, {limits.max_qubits}], got {num_qubits}")
+    max_order = payload.get("max_order")
+    if max_order is not None:
+        max_order = _check_parties(max_order, limits, "max_order")
+    return {
+        "state": _as_array(payload["state"], "state", 1),
+        "keep": tuple(_as_int(q, "each keep index") for q in keep),
+        "num_qubits": num_qubits,
+        "max_order": max_order,
+    }
+
+
+def _payload_virtual(payload: dict, limits: SpecLimits) -> dict:
+    _check_matrix(payload.get("rho"), limits, "rho")
+    observable = payload.get("observable")
+    if not isinstance(observable, str):
+        raise _fail("virtual payload needs 'observable': a Pauli label string")
+    copies = _check_parties(payload.get("copies"), limits, "copies")
+    return {
+        "rho": _as_array(payload["rho"], "rho", 2),
+        "observable": observable,
+        "copies": copies,
+        "exact_circuit": bool(payload.get("exact_circuit", False)),
+    }
+
+
+def _payload_qsp(payload: dict, limits: SpecLimits) -> dict:
+    _check_matrix(payload.get("rho"), limits, "rho")
+    factors = payload.get("factors")
+    if not isinstance(factors, (list, tuple)) or not factors:
+        raise _fail("qsp payload needs 'factors': a list of coefficient lists")
+    if len(factors) > limits.max_parties:
+        raise _fail(f"too many factors: {len(factors)} > max_parties={limits.max_parties}")
+    coerced = []
+    for index, factor in enumerate(factors):
+        if not isinstance(factor, (list, tuple)):
+            raise _fail(f"factors[{index}] must be a list of coefficients")
+        try:
+            coerced.append(tuple(float(c) for c in factor))
+        except (TypeError, ValueError) as exc:
+            raise _fail(f"factors[{index}] must be real numbers: {exc}") from None
+    try:
+        scale = float(payload.get("scale", 1.0))
+    except (TypeError, ValueError) as exc:
+        raise _fail(f"scale must be a number: {exc}") from None
+    return {"rho": _as_array(payload["rho"], "rho", 2), "scale": scale,
+            "factors": tuple(coerced)}
+
+
+def _payload_ghz_fidelity(payload: dict, limits: SpecLimits) -> dict:
+    return {"num_parties": _check_parties(payload.get("num_parties"), limits, "num_parties")}
+
+
+def _payload_fanout_errors(payload: dict, limits: SpecLimits) -> dict:
+    return {"num_targets": _check_parties(payload.get("num_targets"), limits, "num_targets")}
+
+
+def _payload_overall_fidelity(payload: dict, limits: SpecLimits) -> dict:
+    n = _as_int(payload.get("n"), "n")
+    if not 1 <= n <= limits.max_qubits:
+        raise _fail(f"n must be in [1, {limits.max_qubits}], got {n}")
+    try:
+        p = float(payload.get("p"))
+    except (TypeError, ValueError):
+        raise _fail("overall_fidelity payload needs 'p': a base noise rate") from None
+    cswap_error = payload.get("cswap_error")
+    return {
+        "n": n,
+        "p": p,
+        "cswap_shots_per_input": _as_int(
+            payload.get("cswap_shots_per_input", 20), "cswap_shots_per_input"
+        ),
+        "cswap_max_inputs": _as_int(
+            payload.get("cswap_max_inputs", 60), "cswap_max_inputs"
+        ),
+        "cswap_error": None if cswap_error is None else float(cswap_error),
+    }
+
+
+_PAYLOAD_PARSERS = {
+    "swap_test": _payload_swap_test,
+    "trace_sum": _payload_trace_sum,
+    "renyi": _payload_renyi,
+    "spectroscopy": _payload_spectroscopy,
+    "virtual": _payload_virtual,
+    "qsp": _payload_qsp,
+    "ghz_fidelity": _payload_ghz_fidelity,
+    "fanout_errors": _payload_fanout_errors,
+    "overall_fidelity": _payload_overall_fidelity,
+}
+
+
+# ----------------------------------------------------------------------
+# Spec section parsing
+# ----------------------------------------------------------------------
+def _parse_spec(cls, payload, what: str):
+    """Build one frozen spec dataclass from a JSON object, field-checked."""
+    if payload is None:
+        return cls()
+    payload = _require_mapping(payload, what)
+    known = {f.name for f in fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise _fail(f"unknown {what} field(s): {sorted(unknown)}")
+    try:
+        return cls(**payload)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise _fail(f"invalid {what}: {exc}") from None
+
+
+def _parse_noise(payload) -> NoiseSpec:
+    """A noise spec from explicit rates or the base-rate shorthand ``p``."""
+    if payload is None:
+        return NoiseSpec()
+    payload = _require_mapping(payload, "noise")
+    if "p" in payload:
+        if set(payload) != {"p"}:
+            raise _fail("noise accepts either the shorthand {'p': rate} or "
+                        "explicit rates, not both")
+        try:
+            return NoiseSpec.from_base(float(payload["p"]))
+        except (TypeError, ValueError) as exc:
+            raise _fail(f"invalid noise: {exc}") from None
+    return _parse_spec(NoiseSpec, payload, "noise")
+
+
+def _parse_tenant(value, limits: SpecLimits) -> str:
+    if not isinstance(value, str) or not value:
+        raise _fail("submission needs a non-empty string 'tenant'")
+    if len(value) > limits.max_tenant_len:
+        raise _fail(f"tenant name exceeds {limits.max_tenant_len} characters")
+    if not value.isprintable():
+        raise _fail("tenant name contains non-printable characters")
+    return value
+
+
+def _parse_sweep(payload, limits: SpecLimits) -> dict | None:
+    """Normalise the sweep section and bound its cardinality."""
+    if payload is None:
+        return None
+    payload = _require_mapping(payload, "sweep")
+    if "grid" in payload:
+        if set(payload) != {"grid"}:
+            raise _fail("sweep accepts {'grid': ...} or {'over': ..., 'values': ...}")
+        grid = _require_mapping(payload["grid"], "sweep grid")
+        if not grid:
+            raise _fail("sweep grid must name at least one parameter")
+        points = 1
+        for name, values in grid.items():
+            if not isinstance(values, list) or not values:
+                raise _fail(f"sweep grid axis {name!r} must be a non-empty list")
+            points *= len(values)
+            if points > limits.max_sweep_points:
+                raise _fail(f"sweep exceeds {limits.max_sweep_points} grid points")
+        return {"grid": {str(k): list(v) for k, v in grid.items()}}
+    if set(payload) != {"over", "values"}:
+        raise _fail("sweep accepts {'grid': ...} or {'over': ..., 'values': ...}")
+    over = payload["over"]
+    values = payload["values"]
+    if isinstance(over, list):
+        if not over or not all(isinstance(name, str) for name in over):
+            raise _fail("sweep 'over' must be a parameter name or list of names")
+        over = tuple(over)
+    elif not isinstance(over, str):
+        raise _fail("sweep 'over' must be a parameter name or list of names")
+    if not isinstance(values, list) or not values:
+        raise _fail("sweep 'values' must be a non-empty list")
+    if len(values) > limits.max_sweep_points:
+        raise _fail(f"sweep exceeds {limits.max_sweep_points} grid points")
+    return {"over": over, "values": values}
+
+
+# ----------------------------------------------------------------------
+# The entry point
+# ----------------------------------------------------------------------
+def parse_submission(payload, limits: SpecLimits | None = None) -> Submission:
+    """Parse one untrusted submission object into a :class:`Submission`.
+
+    Raises :class:`SpecError` (message safe for a 4xx body) on anything
+    malformed, out of bounds, or internally inconsistent.  The returned
+    experiment is canonical: pool-only options (workers/executor/cache)
+    are normalised away so identical physics from different clients
+    dedupes to one job id regardless of each client's pool preferences.
+    """
+    limits = limits if limits is not None else SpecLimits()
+    payload = _require_mapping(payload, "submission")
+    known = {"tenant", "experiment", "sweep", "with_exact"}
+    unknown = set(payload) - known
+    if unknown:
+        raise _fail(f"unknown submission field(s): {sorted(unknown)}")
+    tenant = _parse_tenant(payload.get("tenant"), limits)
+    spec = _require_mapping(payload.get("experiment"), "experiment")
+
+    kind = spec.get("kind")
+    if kind not in _PAYLOAD_PARSERS:
+        raise _fail(f"kind must be one of {tuple(_PAYLOAD_PARSERS)}, got {kind!r}")
+    unknown = set(spec) - {"kind", "payload", "protocol", "noise", "network", "options"}
+    if unknown:
+        raise _fail(f"unknown experiment field(s): {sorted(unknown)}")
+
+    raw_payload = _require_mapping(spec.get("payload", {}), "payload")
+    experiment_payload = _PAYLOAD_PARSERS[kind](_decode(raw_payload), limits)
+
+    protocol = _parse_spec(ProtocolSpec, spec.get("protocol"), "protocol")
+    noise = _parse_noise(spec.get("noise"))
+    network = _parse_spec(NetworkSpec, spec.get("network"), "network")
+    options = _parse_spec(RunOptions, spec.get("options"), "options")
+    if protocol.k is not None:
+        _check_parties(protocol.k, limits, "protocol.k")
+    if options.shots > limits.max_shots:
+        raise _fail(f"shots must be at most {limits.max_shots}, got {options.shots}")
+
+    experiment = Experiment(
+        kind=kind,
+        payload=experiment_payload,
+        protocol=protocol,
+        noise=noise,
+        network=network,
+        options=options,
+    )
+    try:
+        experiment.validate()
+    except (TypeError, ValueError, KeyError, OverflowError) as exc:
+        raise _fail(f"invalid experiment: {exc}") from None
+
+    # Pool-only options never change the estimates (engine determinism);
+    # normalising them keys dedupe on physics, not client pool taste —
+    # the same discipline the sweep checkpoint namespace uses.
+    experiment = experiment.with_options(workers=1, executor="auto", cache=False)
+
+    sweep = _parse_sweep(payload.get("sweep"), limits)
+    with_exact = bool(payload.get("with_exact", False))
+    if sweep is not None:
+        # Catch unknown parameter names now (a 4xx), not mid-execution.
+        params = _first_point(sweep)
+        try:
+            experiment.derive(**params)
+        except (TypeError, ValueError, KeyError, OverflowError) as exc:
+            raise _fail(f"invalid sweep parameters: {exc}") from None
+
+    job_id = stable_hash(
+        _JOB_ID_TAG,
+        {
+            "experiment": experiment.content_hash(),
+            "sweep": _encode(sweep),
+            "with_exact": with_exact,
+        },
+    )[:32]
+    return Submission(
+        tenant=tenant,
+        experiment=experiment,
+        sweep=sweep,
+        with_exact=with_exact,
+        job_id=job_id,
+    )
+
+
+def _first_point(sweep: dict) -> dict:
+    """The first grid point of a normalised sweep section."""
+    if "grid" in sweep:
+        return {name: values[0] for name, values in sweep["grid"].items()}
+    over = sweep["over"]
+    first = sweep["values"][0]
+    if isinstance(over, str):
+        return {over: first}
+    if not isinstance(first, (list, tuple)) or len(first) != len(over):
+        raise _fail("with a list of sweep names, each value must be a matching list")
+    return dict(zip(over, first))

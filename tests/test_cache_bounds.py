@@ -1,0 +1,172 @@
+"""Tests for the bounded ResultCache: LRU eviction, bytes caps, seeding.
+
+The service satellite that stops the disk cache growing forever:
+``max_entries`` / ``max_bytes`` with least-recently-used eviction, an
+``evictions`` counter in :class:`~repro.engine.CacheStats`, recency
+refresh on every get/put, adoption of pre-existing directories in
+file-mtime order, and eviction that removes entries from *both* tiers.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine import CacheStats, JobResult, ResultCache
+
+
+def make_result(tag: str, shots: int = 100) -> JobResult:
+    return JobResult(job_hash=tag, backend="statevector", shots=shots, num_batches=1,
+                     parity_mean=0.5, parity_stderr=0.01)
+
+
+def fill(cache: ResultCache, keys) -> None:
+    for key in keys:
+        cache.put(key, make_result(key))
+
+
+class TestBoundsValidation:
+    def test_unbounded_by_default(self):
+        cache = ResultCache()
+        assert not cache.bounded
+
+    @pytest.mark.parametrize("kwargs", [{"max_entries": 0}, {"max_entries": -3},
+                                        {"max_bytes": 0}, {"max_bytes": -1}])
+    def test_nonpositive_bounds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResultCache(**kwargs)
+
+
+class TestMaxEntries:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        fill(cache, ["a", "b", "c"])
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.get("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        fill(cache, ["a", "b"])
+        assert cache.get("a") is not None  # a becomes most recent
+        cache.put("c", make_result("c"))   # evicts b, not a
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResultCache(max_entries=2)
+        fill(cache, ["a", "b"])
+        cache.put("a", make_result("a", shots=999))  # refresh, no eviction
+        assert cache.stats.evictions == 0
+        cache.put("c", make_result("c"))
+        assert cache.get("b") is None
+        assert cache.get("a").shots == 999
+
+    def test_eviction_counter_in_stats_dict(self):
+        cache = ResultCache(max_entries=1)
+        fill(cache, ["a", "b", "c"])
+        payload = cache.stats.to_dict()
+        assert payload["evictions"] == 2
+        assert CacheStats().to_dict()["evictions"] == 0
+
+
+class TestMaxBytes:
+    def test_disk_footprint_bounded(self, tmp_path):
+        probe = ResultCache(directory=tmp_path / "probe")
+        probe.put("probe", make_result("probe"))
+        entry_size = (tmp_path / "probe" / "probe.json").stat().st_size
+
+        cache = ResultCache(directory=tmp_path / "main", max_bytes=2 * entry_size + 1)
+        fill(cache, ["a", "b", "c"])
+        files = sorted(p.stem for p in (tmp_path / "main").glob("*.json"))
+        assert files == ["b", "c"]
+        assert cache.stats.evictions == 1
+        assert "a" not in cache
+
+    def test_oversized_newest_entry_is_kept(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, max_bytes=1)
+        cache.put("a", make_result("a"))
+        # The just-stored entry alone exceeds the bound: it must survive
+        # (an empty cache would recompute and re-store forever).
+        assert cache.get("a") is not None
+        cache.put("b", make_result("b"))
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+
+    def test_eviction_removes_memory_tier_too(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, max_entries=1)
+        fill(cache, ["a", "b"])
+        assert len(cache) == 1  # memory tier dropped the evicted entry
+        assert cache.get("a") is None
+        assert cache.stats.misses == 1
+
+
+class TestDirectorySeeding:
+    def test_preexisting_directory_adopted_in_mtime_order(self, tmp_path):
+        warm = ResultCache(directory=tmp_path)
+        for key in ["old", "mid", "new"]:
+            warm.put(key, make_result(key))
+            # Distinct mtimes even on coarse-resolution filesystems.
+            stamp = time.time()
+            os.utime(tmp_path / f"{key}.json",
+                     (stamp, stamp + {"old": 0, "mid": 10, "new": 20}[key]))
+        cache = ResultCache(directory=tmp_path, max_entries=2)
+        assert cache.stats.evictions == 1
+        assert not (tmp_path / "old.json").exists()
+        assert cache.get("mid") is not None
+        assert cache.get("new") is not None
+
+    def test_unbounded_cache_skips_seeding(self, tmp_path):
+        warm = ResultCache(directory=tmp_path)
+        warm.put("a", make_result("a"))
+        cache = ResultCache(directory=tmp_path)
+        assert cache.stats.evictions == 0
+        assert cache.get("a") is not None
+
+    def test_file_appearing_after_init_is_adopted(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, max_entries=2)
+        other = ResultCache(directory=tmp_path)  # another process' store
+        other.put("x", make_result("x"))
+        assert cache.get("x") is not None  # disk hit adopts the file
+        fill(cache, ["a", "b"])
+        assert cache.stats.evictions == 1  # x was tracked, so bounds held
+        assert cache.get("x") is None
+
+
+class TestCorruptEntriesUnderBounds:
+    def test_corrupt_entry_accounting(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, max_entries=4)
+        fill(cache, ["a", "b"])
+        (tmp_path / "a.json").write_text("{not json")
+        cache.clear()  # force the disk path
+        assert cache.get("a") is None
+        assert cache.stats.corrupt == 1
+        # The corrupt entry left the LRU: filling to the bound evicts
+        # the oldest *live* entry, not a ghost.
+        fill(cache, ["c", "d", "e", "f"])
+        assert cache.get("b") is None
+        assert cache.stats.evictions >= 1
+
+    def test_hit_rate_unchanged_by_evictions(self):
+        cache = ResultCache(max_entries=1)
+        fill(cache, ["a", "b"])
+        assert cache.get("b") is not None
+        stats = cache.stats.to_dict()
+        assert stats["hits"] == 1
+        assert stats["evictions"] == 1
+        assert stats["hit_rate"] == 1.0
+
+
+class TestEnvelopeCompat:
+    def test_round_trip_preserves_payload(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, max_entries=8)
+        result = make_result("key", shots=1234)
+        cache.put("key", result)
+        raw = json.loads((tmp_path / "key.json").read_text())
+        assert raw["shots"] == 1234
+        cache.clear()
+        loaded = cache.get("key")
+        assert loaded.shots == 1234
+        assert loaded.from_cache

@@ -317,3 +317,76 @@ class TestEngineFacade:
             res_t = thr.run(small_sv_job(**spec))
         assert res_p.parity_mean == res_t.parity_mean
         assert res_p.counts == res_t.counts
+
+
+class TestSingleFlight:
+    """Cross-call dedupe: concurrent identical jobs compute once."""
+
+    def test_concurrent_identical_jobs_store_once(self):
+        import threading
+
+        with Engine(workers=2, executor="thread", cache=True) as engine:
+            results = [None, None]
+
+            def call(slot):
+                results[slot] = engine.run(small_sv_job(shots=2000))
+
+            threads = [threading.Thread(target=call, args=(s,)) for s in (0, 1)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # Whatever the interleaving — second caller hits the cache,
+            # joins the flight, or (never) both compute — exactly one
+            # computation is stored and the other call is a cache hit.
+            assert engine.cache.stats.stores == 1
+            assert engine.cache.stats.hits == 1
+            assert results[0].parity_mean == results[1].parity_mean
+
+    def test_concurrent_run_many_overlap_deduped(self):
+        import threading
+
+        jobs_a = [small_sv_job(seed=s) for s in (1, 2, 3)]
+        jobs_b = [small_sv_job(seed=s) for s in (2, 3, 4)]
+        with Engine(workers=2, executor="thread", cache=True) as engine:
+            out = {}
+
+            def call(name, jobs):
+                out[name] = engine.run_many(jobs)
+
+            threads = [
+                threading.Thread(target=call, args=("a", jobs_a)),
+                threading.Thread(target=call, args=("b", jobs_b)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert engine.cache.stats.stores == 4  # seeds 1-4, once each
+            assert engine.cache.stats.hits == 2    # seeds 2 and 3, joined
+            assert out["a"][1].parity_mean == out["b"][0].parity_mean
+            assert out["a"][2].parity_mean == out["b"][1].parity_mean
+
+    def test_joiner_recomputes_when_owner_aborts(self):
+        import threading
+        import time as time_mod
+
+        with Engine(cache=True) as engine:
+            job = small_sv_job()
+            key = job.content_hash()
+            owned, _ = engine._try_claim(key)
+            assert owned
+            done = {}
+
+            def joiner():
+                done["result"] = engine.run(job)
+
+            thread = threading.Thread(target=joiner)
+            thread.start()
+            time_mod.sleep(0.2)  # the joiner is parked on the flight
+            assert not done
+            engine._release(key)  # owner aborts without storing
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert done["result"].shots == 300
+            assert engine.cache.stats.stores == 1
