@@ -9,8 +9,9 @@ multi-shot SWAP-test job:
   the kernel must deliver **>= 5x** the reference throughput at equal shots
   (the acceptance bar of the compiled-core refactor; typically 20-40x).
 * **scaling** — the same job partitioned into batches runs on 1 worker and
-  on a multi-worker process pool, producing *bit-identical* estimates; with
-  more than one CPU available the pool reduces wall time.
+  on a prewarmed multi-worker process pool (warm workers, reduce-in-worker
+  batch groups), producing *bit-identical* estimates; at >= 4 visible CPUs
+  the pool must clear ``0.7 * N`` times the 1-worker throughput.
 * **caching** — re-running an identical job is served from the result cache
   (hit counter increments, no new shots are executed) and is orders of
   magnitude faster than recomputation.
@@ -31,6 +32,13 @@ POOL_WORKERS = max(2, min(4, CPUS))
 #: Acceptance bar: compiled/vectorized statevector throughput over the
 #: per-shot reference interpreter at equal shots.
 KERNEL_SPEEDUP_FLOOR = 5.0
+
+#: Acceptance bar for pooled fan-out: with >= 4 real CPUs an N-worker
+#: process pool (warm workers, reduce-in-worker batch groups) must reach
+#: at least ``0.7 * N`` times the 1-worker kernel throughput.  Below 4
+#: CPUs there is no hardware to scale onto, so the gate is skipped — the
+#: persisted ``meta.cpus_visible`` records which regime produced the file.
+POOL_EFFICIENCY_FLOOR = 0.7
 
 
 def make_job(seed: int = 404, backend: str | None = None):
@@ -56,9 +64,12 @@ def test_engine_scaling(once):
             with stopwatch() as serial_time:
                 rows["serial"] = serial.run(make_job())
             rows["serial_time"] = serial_time()
-        with Engine(workers=POOL_WORKERS, executor="process") as pool, \
-                stopwatch() as pool_time:
-            rows["pool"] = pool.run(make_job())
+        with Engine(workers=POOL_WORKERS, executor="process") as pool:
+            # Pool start-up is a one-time cost, not per-job dispatch cost:
+            # spawn the workers outside the stopwatch.
+            pool.prewarm()
+            with stopwatch() as pool_time:
+                rows["pool"] = pool.run(make_job())
         rows["pool_time"] = pool_time()
         with stopwatch() as cold_time:
             rows["cold"] = cached_engine.run(make_job())
@@ -123,6 +134,18 @@ def test_engine_scaling(once):
             for k in ("reference_time", "serial_time", "pool_time", "cold_time", "warm_time")
         ),
         engine=cached_engine,
+        meta={
+            # The speedup gates below assume this many CPUs were visible
+            # when the file was produced; re-judge stale files accordingly.
+            "cpus_visible": CPUS,
+            "pool_workers": POOL_WORKERS,
+            "pool_speedup": pool_speedup,
+            "pool_gate": (
+                f">= {POOL_EFFICIENCY_FLOOR} * {POOL_WORKERS}x serial"
+                if CPUS >= 4
+                else "skipped (needs >= 4 CPUs)"
+            ),
+        },
     )
 
     # Compiled-core acceptance: the vectorized kernel clears the 5x bar.
@@ -135,10 +158,17 @@ def test_engine_scaling(once):
     assert rows["warm"].parity_mean == rows["cold"].parity_mean
     assert cached_engine.cache.stats.hits == 1
     assert rows["warm_time"] < rows["cold_time"]
-    # Scaling: with real parallel hardware, more workers reduce wall time.
-    # The kernel is so much faster than the old per-shot path that pool
-    # startup can dominate at quick scale, so the bar stays advisory: only
-    # enforce that the pool is not catastrophically slower.
-    if CPUS > 1:
-        assert rows["pool_time"] < rows["serial_time"] * 25
+    # Scaling gates need real parallel hardware: a single visible CPU has
+    # nothing to fan out onto, so the multi-worker bars are skipped there.
+    if CPUS >= 4:
+        # Warm workers + reduce-in-worker groups must make the pool an
+        # actual speedup: at least 70% of the ideal N-worker throughput.
+        assert pool_speedup >= POOL_EFFICIENCY_FLOOR * POOL_WORKERS, (
+            f"pooled throughput x{pool_speedup:.2f} below the "
+            f"{POOL_EFFICIENCY_FLOOR} * {POOL_WORKERS}-worker bar"
+        )
+    elif CPUS > 1:
+        # 2-3 CPUs: direction-only bar (pool must not be slower than serial
+        # by more than scheduling noise at quick scale).
+        assert rows["pool_time"] < rows["serial_time"] * 1.5
     cached_engine.close()

@@ -56,13 +56,15 @@ def make_engine(cache=True):
     return Engine(workers=WORKERS, executor=executor, cache=cache)
 
 
-def emit(name: str, payload, wall_time: float | None = None, engine=None, results=None) -> None:
+def emit(name: str, payload, wall_time: float | None = None, engine=None, results=None,
+         meta=None) -> None:
     """Print a result object and persist its JSON dump.
 
     ``wall_time`` (seconds) and ``engine`` (a :class:`repro.engine.Engine`,
     whose cumulative statistics — jobs, shots, backend mix, cache hit/miss
     counters — are snapshotted) are recorded under a ``meta`` key in the
-    persisted payload.  ``results`` is a sequence of
+    persisted payload; ``meta`` merges extra benchmark-specific keys into
+    it (e.g. the visible CPU count a speedup gate assumed).  ``results`` is a sequence of
     :class:`repro.api.ExperimentResult` envelopes (or a
     :class:`repro.api.SweepResult`): their ``to_dict()`` output is
     persisted verbatim under ``experiment_results`` so every benchmark
@@ -73,6 +75,7 @@ def emit(name: str, payload, wall_time: float | None = None, engine=None, result
     print()
     print(text)
     document = json.loads(payload.to_json())
+    extra_meta = dict(meta) if meta else {}
     meta = {"wall_time_s": wall_time}
     if engine is not None:
         stats = engine.stats_dict()
@@ -86,6 +89,7 @@ def emit(name: str, payload, wall_time: float | None = None, engine=None, result
         )
     if wall_time is not None:
         print(f"wall time: {wall_time:.2f}s")
+    meta.update(extra_meta)
     document["meta"] = meta
     if results is not None:
         if hasattr(results, "results"):  # a SweepResult

@@ -8,17 +8,31 @@ estimator, the Section-6 applications, and the benchmarks submit
 
 from .cache import CacheStats, ResultCache
 from .cancel import CancelToken, JobCancelled
+from .costmodel import CostModel, DispatchPlan
 from .engine import Engine, EngineStats, SweepPoint, grid_points
 from .job import DEFAULT_BATCH_SIZE, JOB_BACKENDS, Ensemble, Job, JobResult
 from .router import BACKENDS, BackendChoice, BackendRouter
-from .runners import Batch, BatchExecutionError, BatchStats, batch_rng, execute_batch
+from .runners import (
+    Batch,
+    BatchExecutionError,
+    BatchStats,
+    GroupStats,
+    WorkerJobMiss,
+    batch_rng,
+    execute_batch,
+    execute_batch_group,
+    execute_batch_outcomes,
+)
 from .scheduler import Scheduler
+from .shm import OutcomeMatrix, SharedOutcomeBuffer
 
 __all__ = [
     "CacheStats",
     "ResultCache",
     "CancelToken",
     "JobCancelled",
+    "CostModel",
+    "DispatchPlan",
     "Engine",
     "EngineStats",
     "SweepPoint",
@@ -33,8 +47,14 @@ __all__ = [
     "Batch",
     "BatchExecutionError",
     "BatchStats",
+    "GroupStats",
+    "WorkerJobMiss",
+    "OutcomeMatrix",
+    "SharedOutcomeBuffer",
     "batch_rng",
     "execute_batch",
+    "execute_batch_group",
+    "execute_batch_outcomes",
     "Scheduler",
     "grid_points",
 ]

@@ -55,6 +55,12 @@ class CacheStats:
     disk entries that could not be read back and were discarded;
     ``evictions`` counts entries dropped to honour ``max_entries`` /
     ``max_bytes``.
+
+    The counters carry their own lock: mutation goes through :meth:`bump`
+    and reporting through :meth:`snapshot`/:meth:`to_dict`, so readers on
+    other threads (the service's stats endpoints, while pool callback
+    threads store results) always see a consistent multi-field state and
+    writers never depend on the caller holding the cache's lock.
     """
 
     hits_memory: int = 0
@@ -63,6 +69,26 @@ class CacheStats:
     stores: int = 0
     corrupt: int = 0
     evictions: int = 0
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically increment one named counter."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> "CacheStats":
+        """A consistent point-in-time copy (its own independent lock)."""
+        with self._lock:
+            return CacheStats(
+                hits_memory=self.hits_memory,
+                hits_disk=self.hits_disk,
+                misses=self.misses,
+                stores=self.stores,
+                corrupt=self.corrupt,
+                evictions=self.evictions,
+            )
 
     @property
     def hits(self) -> int:
@@ -79,17 +105,19 @@ class CacheStats:
         """JSON-safe dict (``hits`` remains the tier sum).
 
         ``hit_rate`` is serialized too, so persisted envelopes can report
-        it without recomputing from the raw counters.
+        it without recomputing from the raw counters.  Built from one
+        consistent snapshot, never from counters mid-update.
         """
+        snap = self.snapshot()
         return {
-            "hits": self.hits,
-            "hits_memory": self.hits_memory,
-            "hits_disk": self.hits_disk,
-            "misses": self.misses,
-            "stores": self.stores,
-            "corrupt": self.corrupt,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
+            "hits": snap.hits,
+            "hits_memory": snap.hits_memory,
+            "hits_disk": snap.hits_disk,
+            "misses": snap.misses,
+            "stores": snap.stores,
+            "corrupt": snap.corrupt,
+            "evictions": snap.evictions,
+            "hit_rate": snap.hit_rate,
         }
 
 
@@ -149,7 +177,7 @@ class ResultCache:
     def _lookup(self, key: str) -> tuple[JobResult | None, str]:
         result = self._memory.get(key)
         if result is not None:
-            self.stats.hits_memory += 1
+            self.stats.bump("hits_memory")
             self._touch(key)
             return result.cached_copy(), "memory-hit"
         if self.directory is not None:
@@ -157,7 +185,7 @@ class ResultCache:
             result = self._read_disk(key)
             if result is not None:
                 self._memory[key] = result
-                self.stats.hits_disk += 1
+                self.stats.bump("hits_disk")
                 if self.bounded and key not in self._lru:
                     # A file that appeared after init (another process'
                     # store): adopt it so the bounds keep covering it.
@@ -170,9 +198,9 @@ class ResultCache:
                 self._touch(key)
                 return result.cached_copy(), "disk-hit"
             if self.stats.corrupt > before:
-                self.stats.misses += 1
+                self.stats.bump("misses")
                 return None, "corrupt"
-        self.stats.misses += 1
+        self.stats.bump("misses")
         return None, "miss"
 
     def put(self, key: str, result: JobResult) -> None:
@@ -185,7 +213,7 @@ class ResultCache:
         """
         with self._lock:
             self._memory[key] = result
-            self.stats.stores += 1
+            self.stats.bump("stores")
             size = 0
             if self.directory is not None:
                 path = self._path(key)
@@ -256,7 +284,7 @@ class ResultCache:
         self._memory.pop(key, None)
         if self.directory is not None:
             self._path(key).unlink(missing_ok=True)
-        self.stats.evictions += 1
+        self.stats.bump("evictions")
         self.obs.metrics.counter("cache.evictions").inc()
         _log.debug("evicted cache entry %s (%d bytes)", key[:16], size)
 
@@ -265,7 +293,7 @@ class ResultCache:
         """Load one disk entry; corrupt/unreadable entries become misses."""
         result, corrupt = load_json_or_discard(self._path(key), JobResult.from_dict)
         if corrupt:
-            self.stats.corrupt += 1
+            self.stats.bump("corrupt")
             if self.bounded:
                 self._disk_bytes -= self._lru.pop(key, 0)
             _log.debug("discarded corrupt cache entry %s", key[:16])

@@ -1,0 +1,150 @@
+"""Dispatch cost model: should a job fan out, and at what granularity?
+
+The scheduler's batch partition is a *correctness* contract — RNG
+substreams derive from ``(job.seed, batch.index)``, so the partition is
+part of the job hash and can never depend on the machine.  How those
+batches are *dispatched* is pure policy, and this module is where that
+policy lives:
+
+* **inline vs pooled** — a job whose whole estimated runtime is
+  comparable to one pickle/queue/IPC round trip loses by fanning out, no
+  matter how many workers exist;
+* **batch-group size** — pooled batches are shipped in contiguous
+  *groups* (several batches of one job per worker call, reduced
+  worker-side), so the job payload crosses the IPC boundary once per
+  group instead of once per batch.  Few big groups minimise IPC; more
+  smaller groups improve load balance and cancellation granularity.
+
+Cost estimates come from ``(shots, n_qubits, stochastic sites, op
+count)`` with per-backend constants calibrated against
+``benchmarks/out/engine_scaling.json`` on a commodity x86 core.  They
+are deliberately coarse — every decision is a threshold comparison
+against IPC overheads that are orders of magnitude apart, so a 3x
+estimation error does not flip any decision that matters.  None of this
+affects results: grouping only changes *where* a batch executes and how
+its aggregates travel home, never the substream it consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DispatchPlan"]
+
+#: Backends whose per-shot work is vectorized over the whole batch (cost
+#: scales with amplitudes); everything else pays Python-level per-op cost.
+_VECTORIZED_BACKENDS = ("statevector",)
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """One job's dispatch decision.
+
+    ``pooled=False`` means run every batch inline on the calling thread.
+    ``per_batch=True`` keeps the historical one-future-per-batch fan-out
+    (thread pools: no pickling, so grouping buys nothing and would only
+    coarsen trace spans).  Otherwise the job's batches are shipped as
+    ``num_groups`` contiguous batch groups, each reduced in the worker.
+    """
+
+    pooled: bool
+    num_groups: int = 0
+    per_batch: bool = False
+    estimated_seconds: float = 0.0
+    reason: str = ""
+
+    def split(self, batches: list) -> list[tuple]:
+        """Partition ``batches`` into ``num_groups`` contiguous runs.
+
+        Contiguity keeps each group's indices ascending, so a group's
+        worker-side reduction and the parent's final index-order sort see
+        exactly the serial path's accumulation order.
+        """
+        count = max(1, min(self.num_groups, len(batches)))
+        base, extra = divmod(len(batches), count)
+        groups = []
+        start = 0
+        for i in range(count):
+            take = base + (1 if i < extra else 0)
+            groups.append(tuple(batches[start : start + take]))
+            start += take
+        return groups
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the dispatch policy (see module docstring).
+
+    ``group_overhead_seconds`` is the round-trip cost of one batch group:
+    pickling the payload, the queue hop, and shipping the reduced
+    aggregates back.  ``fanout_gain_floor`` is the minimum relative
+    saving the pool must promise before a job leaves the calling thread
+    (fanning out for a projected 5% win is all risk, no reward).
+    ``target_group_seconds`` sizes groups for long jobs: below it a
+    worker gets one group (minimum IPC), above it up to
+    ``max_groups_per_worker`` groups so stragglers and cancellation stay
+    bounded.
+    """
+
+    amp_op_seconds: float = 2e-9
+    """Per amplitude per (compiled) op, vectorized kernel."""
+
+    vector_op_overhead_seconds: float = 15e-6
+    """Fixed numpy dispatch cost per compiled op per batch."""
+
+    shot_op_seconds: float = 6e-6
+    """Per instruction per shot, Python-loop backends."""
+
+    stochastic_site_factor: float = 4.0
+    """Extra amplitude passes a collapse/fault site costs vs a unitary."""
+
+    group_overhead_seconds: float = 1.5e-3
+    fanout_gain_floor: float = 0.25
+    target_group_seconds: float = 0.05
+    max_groups_per_worker: int = 4
+
+    # ------------------------------------------------------------------
+    def estimate_job_seconds(
+        self,
+        shots: int,
+        num_qubits: int,
+        num_instructions: int,
+        stochastic_sites: int,
+        backend: str,
+    ) -> float:
+        """Rough serial runtime of one job on ``backend``."""
+        ops = max(num_instructions, 1)
+        if backend in _VECTORIZED_BACKENDS:
+            weighted = ops + self.stochastic_site_factor * max(stochastic_sites, 0)
+            amps = float(shots) * float(2**min(num_qubits, 30))
+            return weighted * (amps * self.amp_op_seconds + self.vector_op_overhead_seconds)
+        return float(shots) * ops * self.shot_op_seconds
+
+    def plan(self, estimated_seconds: float, num_batches: int, workers: int) -> DispatchPlan:
+        """Inline-vs-pool and group-count decision for one job."""
+        if workers <= 1 or num_batches < 1:
+            return DispatchPlan(pooled=False, reason="single worker")
+        # Critical path with perfect balance: work/W plus one group round trip.
+        pooled_seconds = estimated_seconds / workers + self.group_overhead_seconds
+        if pooled_seconds >= estimated_seconds * (1.0 - self.fanout_gain_floor):
+            return DispatchPlan(
+                pooled=False,
+                estimated_seconds=estimated_seconds,
+                reason=(
+                    f"estimated {estimated_seconds * 1e3:.2f}ms cannot amortize "
+                    f"{self.group_overhead_seconds * 1e3:.1f}ms dispatch"
+                ),
+            )
+        return DispatchPlan(
+            pooled=True,
+            num_groups=self.group_count(estimated_seconds, num_batches, workers),
+            estimated_seconds=estimated_seconds,
+            reason=f"estimated {estimated_seconds * 1e3:.1f}ms across {workers} workers",
+        )
+
+    def group_count(self, estimated_seconds: float, num_batches: int, workers: int) -> int:
+        """How many batch groups a pooled job should ship as."""
+        per_worker_seconds = estimated_seconds / max(workers, 1)
+        per_worker = int(round(per_worker_seconds / self.target_group_seconds))
+        per_worker = max(1, min(self.max_groups_per_worker, per_worker))
+        return max(1, min(num_batches, workers * per_worker))

@@ -34,18 +34,28 @@ import math
 import threading
 import time
 from collections import Counter
-from concurrent.futures import as_completed as futures_as_completed
+from concurrent.futures import FIRST_COMPLETED, FIRST_EXCEPTION, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from ..obs.runtime import NOOP, Observability
 from .cache import ResultCache
 from .cancel import CancelToken, JobCancelled
+from .costmodel import CostModel, DispatchPlan
 from .job import Job, JobResult
 from .router import BackendChoice, BackendRouter
-from .runners import BatchExecutionError, BatchStats, execute_batch
+from .runners import (
+    BatchExecutionError,
+    BatchStats,
+    WorkerJobMiss,
+    execute_batch,
+    execute_batch_outcomes,
+)
 from .scheduler import Scheduler
+from .shm import OutcomeMatrix, SharedOutcomeBuffer
 
 __all__ = ["Engine", "EngineStats", "SweepPoint", "grid_points"]
 
@@ -125,6 +135,7 @@ class _PendingJob:
     started: float
     stats: list[BatchStats] = field(default_factory=list)
     span: object = None  # the job's open trace span (noop when disabled)
+    program: object = None  # parent-compiled program (WorkerJobMiss retries)
 
 
 class Engine:
@@ -141,8 +152,11 @@ class Engine:
         cache: bool | str | ResultCache | None = False,
         router: BackendRouter | None = None,
         obs: Observability | None = None,
+        cost_model: CostModel | None = None,
     ):
-        self.scheduler = Scheduler(workers=workers, executor=executor)
+        self.scheduler = Scheduler(
+            workers=workers, executor=executor, cost_model=cost_model
+        )
         self.router = router or BackendRouter()
         if isinstance(cache, ResultCache):
             self.cache: ResultCache | None = cache
@@ -178,6 +192,16 @@ class Engine:
         self.scheduler.obs = self.obs
         if self.cache is not None:
             self.cache.obs = self.obs
+
+    def prewarm(self) -> list[int]:
+        """Spin up process-pool workers ahead of the first submission.
+
+        Returns the distinct worker PIDs that answered (empty when there is
+        no process pool to warm).  Purely a latency optimisation — calling
+        it keeps pool start-up cost out of the first job's critical path
+        (and out of benchmark timing windows).
+        """
+        return self.scheduler.prewarm()
 
     # ------------------------------------------------------------------
     # Cancellation
@@ -431,6 +455,111 @@ class Engine:
             for params, result in zip(params_list, results)
         ]
 
+    def sample_outcomes(
+        self,
+        job: Job,
+        *,
+        forced_outcomes: tuple[int, ...] | None = None,
+        cancel: CancelToken | None = None,
+    ) -> OutcomeMatrix:
+        """Every shot's classical register as one ``(shots, num_clbits)`` matrix.
+
+        The cross-validation surface: rows come from exactly the RNG
+        substreams the aggregate path consumes, so a ``Counter`` over the
+        rows equals :meth:`run`'s counts at equal seeds, and row order is
+        the deterministic batch-partition order.  On a process pool each
+        batch writes its rows into one shared-memory segment *in place*
+        (nothing crosses the IPC boundary by value); the returned handle
+        owns the segment — use it as a context manager, or ``close()`` it,
+        and take :meth:`~repro.engine.shm.OutcomeMatrix.copy` for data that
+        must outlive the handle.
+
+        ``forced_outcomes`` forces collapse outcomes in program order for
+        every shot (the batched analogue of the reference interpreter's
+        branch forcing).
+        """
+        cancel = self._cancel_for(cancel)
+        if job.mode == "exact":
+            raise ValueError("exact-mode jobs have no per-shot outcomes to sample")
+        if job.ensembles:
+            raise ValueError(
+                "outcome matrices require a fixed initial state; ensemble draws "
+                "are grouped by component and would reorder rows"
+            )
+        choice = self.router.select(job)
+        backend = (
+            choice.name
+            if choice.name in ("statevector", "statevector-ref")
+            else "statevector"
+        )
+        batches = self.scheduler.plan(job)
+        offsets = []
+        offset = 0
+        for batch in batches:
+            offsets.append(offset)
+            offset += batch.shots
+        num_clbits = job.circuit.num_clbits
+        pooled = self.scheduler.process_pooled and len(batches) > 1
+        tracer = self.obs.tracer
+        span = tracer.begin(
+            "engine.outcomes", shots=job.shots, backend=backend, shared=pooled
+        )
+        error = None
+        try:
+            if not pooled:
+                matrix = np.zeros((job.shots, num_clbits), dtype=np.uint8)
+                for batch, row_offset in zip(batches, offsets):
+                    if cancel is not None:
+                        cancel.raise_if_cancelled()
+                    piece = execute_batch_outcomes(
+                        job,
+                        batch,
+                        backend,
+                        row_offset=row_offset,
+                        forced_outcomes=forced_outcomes,
+                    )
+                    matrix[row_offset : row_offset + batch.shots] = piece.clbits
+                return OutcomeMatrix(matrix)
+            if cancel is not None:
+                cancel.raise_if_cancelled()
+            buffer = SharedOutcomeBuffer.create(job.shots, num_clbits)
+            try:
+                futures = [
+                    self.scheduler.submit_outcomes(
+                        job,
+                        batch,
+                        backend,
+                        row_offset=row_offset,
+                        shm_spec=buffer.spec(),
+                        forced_outcomes=forced_outcomes,
+                    )
+                    for batch, row_offset in zip(batches, offsets)
+                ]
+                done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+                failed = next(
+                    (
+                        f
+                        for f in done
+                        if not f.cancelled() and f.exception() is not None
+                    ),
+                    None,
+                )
+                if failed is not None:
+                    self.scheduler.cancel_and_drain(not_done)
+                    exc = failed.exception()
+                    raise BatchExecutionError(
+                        f"outcome batch failed on backend {backend!r}: {exc}"
+                    ) from exc
+            except BaseException:
+                buffer.close()
+                raise
+            return OutcomeMatrix(buffer.array, buffer)
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            tracer.end(span, error=error)
+
     @contextmanager
     def _toplevel(self):
         """Accumulate ``stats.elapsed`` on the outermost engine call only.
@@ -493,10 +622,28 @@ class Engine:
             else:
                 joined.append((entry, event))
 
-        # Routing happens up front so a bad job fails before anything runs.
+        # Routing and dispatch planning happen up front so a bad job fails
+        # before anything runs.  Density jobs are not picklable work units,
+        # and jobs the cost model judges smaller than one dispatch round
+        # trip gain nothing from the pool: both run inline on the calling
+        # thread, overlapping the pooled futures.
         routed = [(index, job, key, self.router.select(job)) for index, job, key in owned]
-        inline = [entry for entry in routed if entry[3].name == "density"]
-        pooled = [entry for entry in routed if entry[3].name != "density"]
+        process_pool = self.scheduler.process_pooled
+        inline: list[tuple] = []
+        pooled: list[tuple] = []
+        for index, job, key, choice in routed:
+            if choice.name == "density":
+                inline.append((index, job, key, choice))
+                continue
+            batches = self.scheduler.plan(job)
+            if process_pool:
+                plan = self.scheduler.decide(job, choice.name, len(batches))
+            else:
+                plan = DispatchPlan(pooled=True, per_batch=True)
+            if not plan.pooled:
+                inline.append((index, job, key, choice))
+                continue
+            pooled.append((index, job, key, choice, plan, batches))
 
         tracer = self.obs.tracer
         states: dict[int, _PendingJob] = {}
@@ -504,10 +651,9 @@ class Engine:
         try:
             # Submission happens inside the try so a mid-loop failure
             # (e.g. a broken process pool) still cancels what went in.
-            for index, job, key, choice in pooled:
+            for index, job, key, choice, plan, batches in pooled:
                 if cancel is not None:
                     cancel.raise_if_cancelled()
-                batches = self.scheduler.plan(job)
                 job_span = tracer.begin(
                     "engine.job",
                     parent_id=parent_id,
@@ -516,7 +662,7 @@ class Engine:
                     shots=job.shots,
                     batches=len(batches),
                 )
-                states[index] = _PendingJob(
+                state = _PendingJob(
                     job=job,
                     key=key,
                     choice=choice,
@@ -524,12 +670,34 @@ class Engine:
                     started=time.perf_counter(),
                     span=job_span,
                 )
-                for batch in batches:
-                    ctx = tracer.batch_context(job_span.span_id) if tracer.enabled else None
-                    future = self.scheduler.submit(job, batch, choice.name, trace=ctx)
-                    future_map[future] = (index, batch, ctx, time.perf_counter())
-            # Exact-mode (density) jobs are not picklable work units; run
-            # them inline while the pool chews on the sampled batches.
+                states[index] = state
+                if plan.per_batch:
+                    for batch in batches:
+                        ctx = tracer.batch_context(job_span.span_id) if tracer.enabled else None
+                        future = self.scheduler.submit(job, batch, choice.name, trace=ctx)
+                        future_map[future] = (index, (batch,), ctx, time.perf_counter())
+                else:
+                    # Warm-worker group dispatch: payload + compiled program
+                    # ride the first `workers` groups, later groups go
+                    # key-only (WorkerJobMiss retries re-ship the payload).
+                    state.program = self.scheduler.compiled_for(job, choice.name)
+                    groups = plan.split(batches)
+                    state.expected = len(groups)
+                    warm = min(len(groups), self.scheduler.workers)
+                    for position, group in enumerate(groups):
+                        ctx = tracer.batch_context(job_span.span_id) if tracer.enabled else None
+                        future = self.scheduler.submit_group(
+                            job,
+                            key,
+                            group,
+                            choice.name,
+                            trace=ctx,
+                            program=state.program if position < warm else None,
+                            ship_job=position < warm,
+                        )
+                        future_map[future] = (index, group, ctx, time.perf_counter())
+            # Inline jobs (density, cost-model-vetoed) run here while the
+            # pool chews on the submitted batches.
             for index, job, key, choice in inline:
                 job_start = time.perf_counter()
                 job_span = tracer.begin(
@@ -564,42 +732,72 @@ class Engine:
                 yield index, result
                 yield from self._serve_duplicates(duplicates, key, parent_id)
 
-            for future in futures_as_completed(future_map):
-                if cancel is not None and cancel.cancelled:
-                    # The except-handler below cancels every queued batch
-                    # and drains the running ones before this propagates.
-                    raise JobCancelled("job cancelled by its cancel token")
-                index, batch, ctx, submitted = future_map[future]
-                try:
+            # Streaming reduce over a mutable pending set (not a fixed
+            # as_completed iterable) so WorkerJobMiss retries can join the
+            # stream mid-flight.
+            pending_futures = set(future_map)
+            while pending_futures:
+                done, pending_futures = wait(
+                    pending_futures, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    if cancel is not None and cancel.cancelled:
+                        # The except-handler below cancels every queued
+                        # batch and drains the running ones before this
+                        # propagates.
+                        raise JobCancelled("job cancelled by its cancel token")
+                    index, group, ctx, submitted = future_map.pop(future)
+                    state = states[index]
+                    exc = future.exception()
+                    if exc is not None:
+                        if isinstance(exc, WorkerJobMiss):
+                            retry = self.scheduler.submit_group(
+                                state.job,
+                                state.key,
+                                group,
+                                state.choice.name,
+                                trace=ctx,
+                                program=state.program,
+                                ship_job=True,
+                            )
+                            future_map[retry] = (index, group, ctx, time.perf_counter())
+                            pending_futures.add(retry)
+                            continue
+                        if len(group) == 1:
+                            desc = f"batch {group[0].index} ({group[0].shots} shots)"
+                        else:
+                            desc = (
+                                f"batches {group[0].index}..{group[-1].index} "
+                                f"({sum(b.shots for b in group)} shots)"
+                            )
+                        raise BatchExecutionError(
+                            f"job {index} {desc} failed on backend "
+                            f"{state.choice.name!r}: {exc}",
+                            job_index=index,
+                            batch_index=group[0].index,
+                        ) from exc
                     batch_stats = future.result()
-                except Exception as exc:
-                    raise BatchExecutionError(
-                        f"job {index} batch {batch.index} ({batch.shots} shots) "
-                        f"failed on backend {states[index].choice.name!r}: {exc}",
-                        job_index=index,
-                        batch_index=batch.index,
-                    ) from exc
-                state = states[index]
-                if ctx is not None:
-                    self._record_batch(
-                        state, batch, batch_stats, ctx, time.perf_counter() - submitted
-                    )
-                state.stats.append(batch_stats)
-                if len(state.stats) == state.expected:
-                    result = self._finish(
-                        state.job,
-                        state.key,
-                        state.choice,
-                        state.stats,
-                        time.perf_counter() - state.started,
-                        parent_id=state.span.span_id,
-                    )
-                    tracer.end(state.span)
-                    state.span = None
-                    self._release(state.key)
-                    claimed.discard(state.key)
-                    yield index, result
-                    yield from self._serve_duplicates(duplicates, state.key, parent_id)
+                    if ctx is not None:
+                        self._record_batch(
+                            state, group, batch_stats, ctx, time.perf_counter() - submitted
+                        )
+                    self.scheduler.note_group(batch_stats)
+                    state.stats.append(batch_stats)
+                    if len(state.stats) == state.expected:
+                        result = self._finish(
+                            state.job,
+                            state.key,
+                            state.choice,
+                            state.stats,
+                            time.perf_counter() - state.started,
+                            parent_id=state.span.span_id,
+                        )
+                        tracer.end(state.span)
+                        state.span = None
+                        self._release(state.key)
+                        claimed.discard(state.key)
+                        yield index, result
+                        yield from self._serve_duplicates(duplicates, state.key, parent_id)
 
             # Our own work is done (and its claims released), so waiting
             # on other threads' flights cannot deadlock.
@@ -647,10 +845,12 @@ class Engine:
             for key in claimed:
                 self._release(key)
 
-    def _record_batch(self, state, batch, stats, ctx, latency: float) -> None:
-        """Stitch one pooled batch into the trace, parent-side view first.
+    def _record_batch(self, state, group, stats, ctx, latency: float) -> None:
+        """Stitch one pooled dispatch into the trace, parent-side view first.
 
-        The parent-observed latency (submit → future resolved) decomposes
+        ``group`` is the tuple of batches behind one future — a single
+        batch on thread pools, a whole batch group on process pools.  The
+        parent-observed latency (submit → future resolved) decomposes
         into queue wait (submit → worker start, from the shipped context)
         plus worker-side time plus the serialization/IPC remainder — the
         number the run report's ``ipc_share`` is built from.
@@ -665,8 +865,9 @@ class Engine:
             start_unix=ctx["submit_unix"],
             duration=latency,
             parent_id=state.span.span_id if state.span is not None else None,
-            batch_index=batch.index,
-            shots=batch.shots,
+            batch_index=group[0].index,
+            shots=sum(b.shots for b in group),
+            batches=len(group),
             queue_wait=queue_wait,
             ipc_gap=ipc_gap,
         )
@@ -785,7 +986,13 @@ def _combine(
     batch_stats: Sequence[BatchStats],
     elapsed: float,
 ) -> JobResult:
-    """Reduce batch aggregates in index order into one JobResult."""
+    """Reduce batch (or worker-reduced group) aggregates in index order.
+
+    Group stats arrive pre-folded (see
+    :class:`~repro.engine.runners.GroupStats`); their contribution to the
+    Counter/parity sums is identical to their member batches', so this
+    reduction is bit-identical across dispatch shapes.
+    """
     ordered = sorted(batch_stats, key=lambda s: s.index)
     counts: Counter = Counter()
     compile_time = 0.0
@@ -814,7 +1021,7 @@ def _combine(
         job_hash=key,
         backend=choice.name,
         shots=job.shots,
-        num_batches=len(ordered),
+        num_batches=sum(getattr(stats, "num_batches", 1) for stats in ordered),
         counts=dict(counts) if counts else None,
         probabilities=probabilities,
         parity_mean=parity_mean,

@@ -31,23 +31,38 @@ one.
 
 from __future__ import annotations
 
+import os
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
+from threading import Lock
 
 import numpy as np
 
 from ..obs.trace import span_record
 from ..sim.batched import run_batched
-from ..sim.compile import get_compiled
+from ..sim.compile import compile_cache_stats, get_compiled, prime_compiled
 from ..sim.density import DensitySimulator
 from ..sim.pauliframe import PauliFrameSimulator
 from ..sim.statevector import StatevectorSimulator
 from ..sim.tableau import TableauSimulator
 from ..utils.states import assemble_initial_state
 from .job import Job
+from .shm import SharedOutcomeBuffer
 
-__all__ = ["Batch", "BatchExecutionError", "BatchStats", "batch_rng", "execute_batch"]
+__all__ = [
+    "Batch",
+    "BatchExecutionError",
+    "BatchStats",
+    "GroupStats",
+    "OutcomeSlice",
+    "WorkerJobMiss",
+    "batch_rng",
+    "execute_batch",
+    "execute_batch_group",
+    "execute_batch_outcomes",
+    "worker_cache_info",
+]
 
 
 @dataclass(frozen=True)
@@ -86,6 +101,23 @@ class BatchExecutionError(RuntimeError):
         return (type(self), (self.args[0], self.job_index, self.batch_index))
 
 
+class WorkerJobMiss(RuntimeError):
+    """A key-only batch group arrived at a worker without that job cached.
+
+    The warm-worker protocol ships a job's full payload with its first
+    few groups and only the content hash afterwards; a worker that saw
+    none of the full payloads raises this, and the dispatcher resubmits
+    the group with the job attached.  Never user-visible.
+    """
+
+    def __init__(self, job_key: str):
+        super().__init__(f"worker holds no cached job {job_key[:16]}")
+        self.job_key = job_key
+
+    def __reduce__(self):
+        return (type(self), (self.job_key,))
+
+
 @dataclass
 class BatchStats:
     """Order-independent aggregates of one batch.
@@ -105,6 +137,68 @@ class BatchStats:
     compile_time: float = 0.0
     execute_time: float = 0.0
     spans: list[dict] | None = None
+
+
+@dataclass
+class GroupStats:
+    """Worker-side reduction of one batch group (reduce-in-worker).
+
+    Carries exactly the order-insensitive aggregates of its batches —
+    counts are a ``Counter`` sum and parity totals are exact sums of ±1,
+    so folding inside the worker can never change the bits the parent's
+    index-ordered reduction would have produced.  Only this object (a few
+    hundred bytes) crosses the IPC boundary, instead of one
+    :class:`BatchStats` per batch.
+
+    ``compile_hits`` / ``compile_misses`` snapshot the worker-resident
+    compile cache across the group (the warm-worker observability the
+    engine surfaces as ``engine.worker_compile`` counters);
+    ``job_shipped`` / ``program_primed`` record whether this dispatch
+    paid the full-payload and compile costs or rode the warm caches.
+    """
+
+    indices: tuple[int, ...]
+    shots: int
+    counts: Counter = field(default_factory=Counter)
+    parity_total: float = 0.0
+    parity_total_sq: float = 0.0
+    compile_time: float = 0.0
+    execute_time: float = 0.0
+    spans: list[dict] | None = None
+    compile_hits: int = 0
+    compile_misses: int = 0
+    job_shipped: bool = False
+    program_primed: bool = False
+
+    #: Exact-mode distributions never travel in groups; the attribute
+    #: exists so the engine's reducer treats Group- and BatchStats alike.
+    probabilities = None
+
+    @property
+    def index(self) -> int:
+        """The group's first batch index (its reduction sort key)."""
+        return self.indices[0]
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class OutcomeSlice:
+    """One batch's contribution to a full outcome matrix.
+
+    ``clbits`` is the batch's ``(shots, num_clbits)`` rows when they
+    travelled by value (serial/thread executors) and ``None`` when the
+    worker already wrote them into the shared-memory segment at
+    ``row_offset``.
+    """
+
+    index: int
+    row_offset: int
+    shots: int
+    execute_time: float = 0.0
+    clbits: np.ndarray | None = None
 
 
 def batch_rng(seed: int, index: int) -> np.random.Generator:
@@ -153,7 +247,9 @@ def execute_batch(
     t0 = time.perf_counter()
     stats = _dispatch_batch(job, batch, backend)
     total = time.perf_counter() - t0
-    stats.spans = _worker_spans(batch, backend, trace, stats, start_unix, total)
+    stats.spans = _worker_spans(
+        batch.index, batch.shots, backend, trace, stats, start_unix, total
+    )
     return stats
 
 
@@ -172,19 +268,22 @@ def _dispatch_batch(job: Job, batch: Batch, backend: str) -> BatchStats:
 
 
 def _worker_spans(
-    batch: Batch,
+    index: int,
+    shots: int,
     backend: str,
     trace: dict,
-    stats: BatchStats,
+    stats,
     start_unix: float,
     total: float,
+    batches: int = 1,
 ) -> list[dict]:
-    """The worker-side view of one batch as adoptable span records.
+    """The worker-side view of one batch (or batch group) as span records.
 
     The root ``worker.batch`` record is left parent-less — the adopting
     tracer re-parents it under its parent-side batch span — and carries
     the measured queue wait (submit → worker start, comparable because
-    both sides stamp the same machine's wall clock).
+    both sides stamp the same machine's wall clock).  A batch group
+    produces one root covering all its batches (``batches`` > 1).
     """
     queue_wait = max(start_unix - trace.get("submit_unix", start_unix), 0.0)
     root = span_record(
@@ -192,8 +291,9 @@ def _worker_spans(
         start_unix,
         total,
         attrs={
-            "batch_index": batch.index,
-            "shots": batch.shots,
+            "batch_index": index,
+            "shots": shots,
+            "batches": batches,
             "backend": backend,
             "queue_wait": queue_wait,
         },
@@ -232,12 +332,21 @@ def _accumulate_matrix(stats: BatchStats, clbits: np.ndarray, job: Job) -> None:
     Parity values are ±1, so the float sums are exact integers and the
     totals do not depend on accumulation order — regrouping shots (by
     ensemble component, by chunk) never changes the bits.
+
+    Counting packs each row into one fixed-width ASCII bytes key (add
+    ``'0'`` to every bit, reinterpret the row as a single ``S{ncols}``
+    scalar) so the unique/count pass runs on a 1-D bytes array and the
+    Python-level bitstring is materialized once per *unique* outcome
+    rather than once per row — the row-wise ``str.join`` this replaces
+    dominated high-entropy batches.
     """
-    shots = clbits.shape[0]
-    if clbits.shape[1]:
-        rows, row_counts = np.unique(clbits, axis=0, return_counts=True)
-        for row, count in zip(rows, row_counts):
-            stats.counts["".join(str(int(b)) for b in row)] += int(count)
+    shots, ncols = clbits.shape
+    if ncols:
+        chars = np.ascontiguousarray(clbits, dtype=np.uint8) + np.uint8(48)
+        keys = np.ascontiguousarray(chars).view(np.dtype((np.bytes_, ncols))).ravel()
+        unique_keys, row_counts = np.unique(keys, return_counts=True)
+        for key, count in zip(unique_keys, row_counts):
+            stats.counts[key.decode("ascii")] += int(count)
     else:
         stats.counts[""] += shots
     if job.readout:
@@ -375,3 +484,212 @@ def _density_batch(job: Job, batch: Batch) -> BatchStats:
             mean += p * (1.0 - 2.0 * _parity(list(bits), job.readout))
         stats.parity_total = mean
     return stats
+
+
+# ----------------------------------------------------------------------
+# Warm-worker batch groups (process pools)
+# ----------------------------------------------------------------------
+# A process-pool worker keeps the jobs it has executed so the dispatcher
+# can ship a job's payload once per worker and send only the content hash
+# afterwards.  The compiled-program cache in ``sim.compile`` is already
+# per-process; this layer adds the *job* objects (circuit + noise + seed)
+# that group dispatches reference by key.
+_WORKER_JOBS: OrderedDict[str, Job] = OrderedDict()
+_WORKER_JOBS_MAX = 32
+_worker_jobs_lock = Lock()
+
+
+def _remember_job(job_key: str, job: Job) -> None:
+    with _worker_jobs_lock:
+        _WORKER_JOBS[job_key] = job
+        _WORKER_JOBS.move_to_end(job_key)
+        while len(_WORKER_JOBS) > _WORKER_JOBS_MAX:
+            _WORKER_JOBS.popitem(last=False)
+
+
+def _recall_job(job_key: str) -> Job | None:
+    with _worker_jobs_lock:
+        job = _WORKER_JOBS.get(job_key)
+        if job is not None:
+            _WORKER_JOBS.move_to_end(job_key)
+        return job
+
+
+def _init_pool_worker() -> None:
+    """Process-pool initializer: start every worker with empty warm caches.
+
+    On fork-start platforms a worker would otherwise inherit the parent's
+    job cache and silently skip the warm-up protocol the tests (and the
+    cache-hit counters) observe.
+    """
+    with _worker_jobs_lock:
+        _WORKER_JOBS.clear()
+
+
+def _warm_worker() -> int:
+    """No-op pool task used to prewarm workers; returns the worker's PID."""
+    return os.getpid()
+
+
+def worker_cache_info() -> dict:
+    """This process's warm-cache occupancy, for diagnostics and tests."""
+    with _worker_jobs_lock:
+        jobs = len(_WORKER_JOBS)
+    return {"pid": os.getpid(), "jobs": jobs, "compile": compile_cache_stats()}
+
+
+def execute_batch_group(
+    job: Job | None,
+    job_key: str,
+    batches: tuple[Batch, ...],
+    backend: str,
+    trace: dict | None = None,
+    program=None,
+) -> GroupStats:
+    """Run several batches of one job in this worker and fold them locally.
+
+    The warm-worker protocol: ``job`` is the full payload on a worker's
+    first sight of ``job_key`` (and is remembered), or ``None`` for a
+    key-only dispatch that reuses the remembered payload — raising
+    :class:`WorkerJobMiss` when this worker never saw it, so the parent
+    can resubmit with the payload attached.  ``program`` optionally ships
+    the parent's already-compiled program to prime this process's compile
+    cache, saving the first compile per worker.
+
+    Every batch still consumes exactly its own ``(job.seed, batch.index)``
+    substream, and the fold is the order-insensitive Counter/±1-sum
+    reduction, so grouping cannot change result bits.
+    """
+    if job is None:
+        job = _recall_job(job_key)
+        if job is None:
+            raise WorkerJobMiss(job_key)
+        shipped = False
+    else:
+        _remember_job(job_key, job)
+        shipped = True
+
+    primed = False
+    if program is not None:
+        primed = prime_compiled(job.circuit, program)
+
+    compile_before = compile_cache_stats()
+    start_unix = time.time()
+    t0 = time.perf_counter()
+    group = GroupStats(
+        indices=tuple(b.index for b in batches),
+        shots=sum(b.shots for b in batches),
+        job_shipped=shipped,
+        program_primed=primed,
+    )
+    for batch in batches:
+        stats = _dispatch_batch(job, batch, backend)
+        if stats.probabilities is not None:
+            raise ValueError("exact-distribution batches cannot be group-reduced")
+        group.counts.update(stats.counts)
+        group.parity_total += stats.parity_total
+        group.parity_total_sq += stats.parity_total_sq
+        group.compile_time += stats.compile_time
+        group.execute_time += stats.execute_time
+    total = time.perf_counter() - t0
+    compile_after = compile_cache_stats()
+    group.compile_hits = compile_after["hits"] - compile_before["hits"]
+    group.compile_misses = compile_after["compiles"] - compile_before["compiles"]
+    if trace is not None:
+        group.spans = _worker_spans(
+            group.index,
+            group.shots,
+            backend,
+            trace,
+            group,
+            start_unix,
+            total,
+            batches=len(batches),
+        )
+    return group
+
+
+# ----------------------------------------------------------------------
+# Full outcome matrices (shared-memory result buffers)
+# ----------------------------------------------------------------------
+def execute_batch_outcomes(
+    job: Job,
+    batch: Batch,
+    backend: str,
+    row_offset: int = 0,
+    shm_spec: tuple[str, int, int] | None = None,
+    forced_outcomes: tuple[int, ...] | None = None,
+) -> OutcomeSlice:
+    """Run one batch and return its raw ``(shots, num_clbits)`` rows.
+
+    Consumes exactly the same RNG substream as :func:`execute_batch`'s
+    aggregate path, so the outcome rows are the very shots whose counts
+    the engine would report.  With ``shm_spec`` the rows are written in
+    place into the parent-owned shared segment at ``row_offset`` (workers
+    never overlap: offsets come from the deterministic batch partition)
+    and nothing crosses the IPC boundary by value; otherwise the rows
+    travel in the returned slice (serial/thread executors).
+    """
+    if job.ensembles:
+        raise ValueError(
+            "outcome matrices require a fixed initial state; ensemble draws are "
+            "grouped by component and would reorder rows"
+        )
+    rng = batch_rng(job.seed, batch.index)
+    noise = job.noise if job.noise is not None and not job.noise.is_noiseless else None
+    execute_start = time.perf_counter()
+    if backend == "statevector":
+        kernel_rng = np.random.default_rng(int(rng.integers(2**63)))
+        program = get_compiled(
+            job.circuit,
+            gate_noise=noise is not None and noise.has_gate_noise,
+            link_noise=noise is not None and noise.has_link_noise,
+        )
+        clbits = run_batched(
+            program,
+            batch.shots,
+            kernel_rng,
+            noise=noise,
+            initial_state=job.initial_state,
+            forced_outcomes=forced_outcomes,
+        ).clbits
+    elif backend == "statevector-ref":
+        simulator = StatevectorSimulator(seed=int(rng.integers(2**63)), noise=job.noise)
+        rows = []
+        for _ in range(batch.shots):
+            result = simulator.run(
+                job.circuit,
+                initial_state=job.initial_state,
+                forced_outcomes=forced_outcomes,
+            )
+            rows.append(result.clbits)
+        clbits = np.array(rows, dtype=np.uint8).reshape(
+            batch.shots, job.circuit.num_clbits
+        )
+    else:
+        raise ValueError(f"backend {backend!r} does not produce outcome matrices")
+    execute_time = time.perf_counter() - execute_start
+
+    if shm_spec is not None:
+        name, total_shots, num_clbits = shm_spec
+        buffer = SharedOutcomeBuffer.attach(name, total_shots, num_clbits)
+        try:
+            if num_clbits:
+                target = buffer.array
+                target[row_offset : row_offset + batch.shots] = clbits
+                del target
+        finally:
+            buffer.close()
+        return OutcomeSlice(
+            index=batch.index,
+            row_offset=row_offset,
+            shots=batch.shots,
+            execute_time=execute_time,
+        )
+    return OutcomeSlice(
+        index=batch.index,
+        row_offset=row_offset,
+        shots=batch.shots,
+        execute_time=execute_time,
+        clbits=clbits,
+    )

@@ -13,7 +13,21 @@ order, so the outcome is bit-identical whether the batches run serially, on
 * ``"thread"``  — :class:`~concurrent.futures.ThreadPoolExecutor` (default;
   cheap to spin up, shares the circuit objects);
 * ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor` (true
-  CPU parallelism; jobs and batches are picklable by construction).
+  CPU parallelism; jobs and batches are picklable by construction);
+* ``"auto"``    — a process pool whose use is gated per job by the
+  :class:`~repro.engine.costmodel.CostModel`: jobs too small to amortize
+  one IPC round trip run inline, everything else fans out.
+
+Process pools dispatch **batch groups** (several batches of one job per
+worker call, reduced worker-side — see
+:func:`~repro.engine.runners.execute_batch_group`) under the warm-worker
+protocol: a job's full payload and its parent-compiled program ship with
+the first ``workers`` groups; later groups carry only the job's content
+hash and ride the worker-resident caches.  A worker that never saw the
+payload raises ``WorkerJobMiss`` and the group is transparently resubmitted
+with the payload attached.  Thread pools keep the historical
+one-future-per-batch shape — nothing is pickled, so grouping would only
+coarsen spans.
 
 Failure handling: when a pooled batch raises, every not-yet-started batch
 is cancelled and the still-running ones are drained before a
@@ -26,9 +40,10 @@ from __future__ import annotations
 
 import logging
 import math
+import pickle
 import threading
 from concurrent.futures import (
-    FIRST_EXCEPTION,
+    FIRST_COMPLETED,
     Executor,
     Future,
     ProcessPoolExecutor,
@@ -37,13 +52,28 @@ from concurrent.futures import (
 )
 
 from ..obs.runtime import NOOP
+from ..sim.compile import get_capabilities, get_compiled
 from .cancel import CancelToken
+from .costmodel import CostModel, DispatchPlan
 from .job import Job
-from .runners import Batch, BatchExecutionError, BatchStats, execute_batch
+from .runners import (
+    Batch,
+    BatchExecutionError,
+    BatchStats,
+    WorkerJobMiss,
+    _init_pool_worker,
+    _warm_worker,
+    execute_batch,
+    execute_batch_group,
+    execute_batch_outcomes,
+)
 
 __all__ = ["Scheduler"]
 
-_EXECUTORS = ("serial", "thread", "process")
+_EXECUTORS = ("serial", "thread", "process", "auto")
+
+#: Executor kinds backed by a ProcessPoolExecutor (group dispatch applies).
+_PROCESS_KINDS = ("process", "auto")
 
 _log = logging.getLogger("repro.engine.scheduler")
 
@@ -56,15 +86,25 @@ class Scheduler:
     context to the worker and :meth:`execute` adopts the returned
     worker-side spans, so per-batch queue wait and compile/execute time
     land in the parent trace.
+
+    ``cost_model`` owns the dispatch policy (inline vs pooled, batch-group
+    sizing); pass a custom :class:`~repro.engine.costmodel.CostModel` to
+    re-tune it without touching the deterministic batch partition.
     """
 
-    def __init__(self, workers: int = 1, executor: str = "thread"):
+    def __init__(
+        self,
+        workers: int = 1,
+        executor: str = "thread",
+        cost_model: CostModel | None = None,
+    ):
         if workers < 1:
             raise ValueError("need at least one worker")
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}")
         self.workers = workers
         self.executor_kind = executor
+        self.cost_model = cost_model if cost_model is not None else CostModel()
         self.obs = NOOP
         self._pool: Executor | None = None
         self._pool_lock = threading.Lock()
@@ -74,6 +114,11 @@ class Scheduler:
     def pooled(self) -> bool:
         """Whether this scheduler dispatches batches to a real pool."""
         return self.workers > 1 and self.executor_kind != "serial"
+
+    @property
+    def process_pooled(self) -> bool:
+        """Whether the pool crosses a process (pickle/IPC) boundary."""
+        return self.workers > 1 and self.executor_kind in _PROCESS_KINDS
 
     def plan(self, job: Job) -> list[Batch]:
         """Deterministic batch partition of the job's shot budget."""
@@ -89,6 +134,60 @@ class Scheduler:
             remaining -= take
         return batches
 
+    # ------------------------------------------------------------------
+    # Dispatch policy
+    # ------------------------------------------------------------------
+    def estimate_job_seconds(self, job: Job, backend: str) -> float:
+        """The cost model's serial-runtime estimate for one job."""
+        caps = get_capabilities(job.circuit)
+        noise = job.noise
+        sites = caps.num_measurements
+        if noise is not None and not noise.is_noiseless:
+            if noise.has_gate_noise:
+                sites += sum(1 for op in job.circuit.instructions if op.is_gate)
+            if noise.has_link_noise:
+                sites += caps.num_link_events
+        return self.cost_model.estimate_job_seconds(
+            shots=job.shots,
+            num_qubits=caps.num_qubits,
+            num_instructions=len(job.circuit.instructions),
+            stochastic_sites=sites,
+            backend=backend,
+        )
+
+    def decide(self, job: Job, backend: str, num_batches: int) -> DispatchPlan:
+        """How this job's batches should be dispatched.
+
+        Exact-distribution jobs and serial schedulers always run inline.
+        Thread pools keep the historical one-future-per-batch fan-out.
+        Process pools ship batch groups sized by the cost model; with
+        ``executor="auto"`` the cost model may also veto pooling entirely
+        (a job smaller than its own dispatch overhead stays on the calling
+        thread), while an explicit ``"process"`` executor is honored
+        regardless of the estimate.
+        """
+        if not self.pooled or num_batches <= 1 or backend == "density":
+            return DispatchPlan(pooled=False, reason="inline executor")
+        if self.executor_kind == "thread":
+            return DispatchPlan(
+                pooled=True, per_batch=True, reason="thread pool: per-batch"
+            )
+        estimate = self.estimate_job_seconds(job, backend)
+        plan = self.cost_model.plan(estimate, num_batches, self.workers)
+        if not plan.pooled and self.executor_kind == "process":
+            return DispatchPlan(
+                pooled=True,
+                num_groups=self.cost_model.group_count(
+                    estimate, num_batches, self.workers
+                ),
+                estimated_seconds=estimate,
+                reason="explicit process executor",
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Submission primitives
+    # ------------------------------------------------------------------
     def submit(
         self, job: Job, batch: Batch, backend: str, trace: dict | None = None
     ) -> Future:
@@ -102,6 +201,117 @@ class Scheduler:
             return self._ensure_pool().submit(execute_batch, job, batch, backend)
         return self._ensure_pool().submit(execute_batch, job, batch, backend, trace)
 
+    def submit_group(
+        self,
+        job: Job,
+        job_key: str,
+        group: tuple[Batch, ...],
+        backend: str,
+        trace: dict | None = None,
+        program=None,
+        ship_job: bool = True,
+    ) -> Future:
+        """Submit one batch group under the warm-worker protocol.
+
+        ``ship_job=False`` sends the content hash only (the payload rode a
+        previous group); the receiving worker raises ``WorkerJobMiss`` if
+        it holds no copy, and the caller resubmits with ``ship_job=True``.
+        """
+        payload = job if ship_job else None
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            try:
+                size = len(
+                    pickle.dumps(
+                        (payload, job_key, group, backend, trace, program),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                )
+                metrics.counter(
+                    "engine.ipc_bytes", payload="full" if ship_job else "key"
+                ).inc(size)
+            except Exception:  # pragma: no cover - metrics never block dispatch
+                pass
+        return self._ensure_pool().submit(
+            execute_batch_group, payload, job_key, group, backend, trace, program
+        )
+
+    def submit_outcomes(
+        self,
+        job: Job,
+        batch: Batch,
+        backend: str,
+        row_offset: int = 0,
+        shm_spec: tuple[str, int, int] | None = None,
+        forced_outcomes: tuple[int, ...] | None = None,
+    ) -> Future:
+        """Submit one raw-outcome batch (shared-memory result path)."""
+        return self._ensure_pool().submit(
+            execute_batch_outcomes,
+            job,
+            batch,
+            backend,
+            row_offset,
+            shm_spec,
+            forced_outcomes,
+        )
+
+    def note_group(self, stats) -> None:
+        """Surface one dispatch's warm-cache telemetry.
+
+        No-op for plain :class:`~repro.engine.runners.BatchStats`; for
+        group stats it feeds the ``engine.worker_compile`` hit/miss
+        counters and the ``engine.worker_job`` payload counters the tests
+        and the run report read.
+        """
+        hits = getattr(stats, "compile_hits", None)
+        if hits is None:
+            return
+        metrics = self.obs.metrics
+        if hits:
+            metrics.counter("engine.worker_compile", outcome="hit").inc(hits)
+        if stats.compile_misses:
+            metrics.counter("engine.worker_compile", outcome="miss").inc(
+                stats.compile_misses
+            )
+        metrics.counter(
+            "engine.worker_job", payload="full" if stats.job_shipped else "key"
+        ).inc()
+
+    def prewarm(self) -> list[int]:
+        """Spin up every pool worker ahead of the first real submission.
+
+        Returns the distinct worker PIDs that answered (empty for serial
+        and thread executors, where there is nothing to warm).  Calling
+        this outside a timed region keeps process-start cost out of
+        throughput measurements; it is never required for correctness.
+        """
+        if not self.process_pooled:
+            return []
+        pool = self._ensure_pool()
+        futures = [pool.submit(_warm_worker) for _ in range(self.workers)]
+        return sorted({future.result() for future in futures})
+
+    def compiled_for(self, job: Job, backend: str):
+        """The parent-side compiled program to prime workers with (or None).
+
+        Only the vectorized statevector backend has a compiled artifact;
+        the parent's compile cache makes repeat calls free, so shipping it
+        costs one compile per distinct circuit across the whole run.
+        """
+        if backend != "statevector":
+            return None
+        noise = job.noise
+        live = noise is not None and not noise.is_noiseless
+        return get_compiled(
+            job.circuit,
+            gate_noise=live and noise.has_gate_noise,
+            link_noise=live and noise.has_link_noise,
+        )
+
+    # ------------------------------------------------------------------
+    # Single-job execution
+    # ------------------------------------------------------------------
     def execute(
         self,
         job: Job,
@@ -117,10 +327,14 @@ class Scheduler:
         checked between inline batches and before a pooled submission —
         batch-granular cooperative cancellation; a tripped token raises
         :class:`~repro.engine.cancel.JobCancelled`.
+
+        Pooled stats are reduced as futures complete (no whole-job
+        barrier) and ordered by batch index at the end.
         """
         batches = self.plan(job)
         tracer = self.obs.tracer
-        if not self.pooled or len(batches) <= 1 or backend == "density":
+        plan = self.decide(job, backend, len(batches))
+        if not plan.pooled:
             ordered = []
             for batch in batches:
                 if cancel is not None:
@@ -137,35 +351,100 @@ class Scheduler:
             return ordered
         if cancel is not None:
             cancel.raise_if_cancelled()
-        futures = {
-            self.submit(
+        if plan.per_batch:
+            future_map: dict[Future, tuple] = {}
+            for batch in batches:
+                ctx = tracer.batch_context(trace_parent) if tracer.enabled else None
+                future_map[self.submit(job, batch, backend, trace=ctx)] = (
+                    (batch,),
+                    ctx,
+                )
+            return self._collect(
+                future_map, job, job.content_hash(), backend, None, trace_parent, cancel
+            )
+        job_key = job.content_hash()
+        program = self.compiled_for(job, backend)
+        groups = plan.split(batches)
+        warm = min(len(groups), self.workers)
+        future_map = {}
+        for i, group in enumerate(groups):
+            ctx = tracer.batch_context(trace_parent) if tracer.enabled else None
+            future = self.submit_group(
                 job,
-                batch,
+                job_key,
+                group,
                 backend,
-                trace=tracer.batch_context(trace_parent) if tracer.enabled else None,
-            ): batch
-            for batch in batches
-        }
-        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-        failed = next(
-            (f for f in done if not f.cancelled() and f.exception() is not None),
-            None,
+                trace=ctx,
+                program=program if i < warm else None,
+                ship_job=i < warm,
+            )
+            future_map[future] = (group, ctx)
+        return self._collect(
+            future_map, job, job_key, backend, program, trace_parent, cancel
         )
-        if failed is None:
-            # dict preserves submission order == batch-index order.
-            ordered = [future.result() for future in futures]
-            if tracer.enabled:
-                for stats in ordered:
-                    tracer.adopt(stats.spans, parent_id=trace_parent)
-            return ordered
-        self.cancel_and_drain(not_done)
-        batch = futures[failed]
-        exc = failed.exception()
-        raise BatchExecutionError(
-            f"batch {batch.index} ({batch.shots} shots) failed on backend "
-            f"{backend!r}: {exc}",
-            batch_index=batch.index,
-        ) from exc
+
+    def _collect(
+        self,
+        future_map: dict[Future, tuple],
+        job: Job,
+        job_key: str,
+        backend: str,
+        program,
+        trace_parent: str | None,
+        cancel: CancelToken | None,
+    ) -> list:
+        """Streaming reduce: fold stats as futures complete.
+
+        ``future_map`` maps each future to ``(batches, trace_ctx)``.
+        ``WorkerJobMiss`` failures are resubmitted with the full payload
+        (and join the pending set mid-stream); any other failure cancels
+        and drains the remaining futures before raising.  The returned
+        stats are sorted by batch index, so the caller's reduction sees
+        the serial order regardless of completion order.
+        """
+        tracer = self.obs.tracer
+        results = []
+        pending = set(future_map)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    group, ctx = future_map.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        stats = future.result()
+                        if tracer.enabled and stats.spans:
+                            tracer.adopt(stats.spans, parent_id=trace_parent)
+                        self.note_group(stats)
+                        results.append(stats)
+                        continue
+                    if isinstance(exc, WorkerJobMiss):
+                        if cancel is not None:
+                            cancel.raise_if_cancelled()
+                        retry = self.submit_group(
+                            job,
+                            job_key,
+                            group,
+                            backend,
+                            trace=ctx,
+                            program=program,
+                            ship_job=True,
+                        )
+                        future_map[retry] = (group, ctx)
+                        pending.add(retry)
+                        continue
+                    first = group[0]
+                    raise BatchExecutionError(
+                        f"batch {first.index} ({sum(b.shots for b in group)} shots"
+                        f" in {len(group)}-batch dispatch) failed on backend "
+                        f"{backend!r}: {exc}",
+                        batch_index=first.index,
+                    ) from exc
+        except BaseException:
+            self.cancel_and_drain(pending)
+            raise
+        results.sort(key=lambda stats: stats.index)
+        return results
 
     @staticmethod
     def cancel_and_drain(futures) -> None:
@@ -197,8 +476,10 @@ class Scheduler:
         # never race two pools into existence and leak one.
         with self._pool_lock:
             if self._pool is None:
-                if self.executor_kind == "process":
-                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                if self.executor_kind in _PROCESS_KINDS:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.workers, initializer=_init_pool_worker
+                    )
                 else:
                     self._pool = ThreadPoolExecutor(max_workers=self.workers)
             return self._pool

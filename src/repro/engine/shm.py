@@ -1,0 +1,180 @@
+"""Shared-memory outcome buffers: zero-copy ``(shots, num_clbits)`` matrices.
+
+Aggregate paths (counts, parities) cross the pool boundary as tiny
+reduced payloads, but the raw-outcome paths — exact/forced-outcome
+cross-validation and any consumer that wants every shot's classical
+register — must move a whole ``(shots, num_clbits)`` uint8 matrix out of
+the workers.  Pickling that matrix through the result queue copies it at
+least twice; a :class:`SharedOutcomeBuffer` instead maps one
+``multiprocessing.shared_memory`` segment that the parent creates and
+every worker writes its batch's rows into *in place* (row offsets are
+derived from the deterministic batch partition, so writers never
+overlap).
+
+Lifetime is explicit, never garbage-collector-driven:
+
+* the **creator** (the engine) owns the segment: ``close()`` both
+  detaches and unlinks it;
+* **workers** attach, write, and detach (``attach``/``close``); on
+  POSIX Pythons that register attachments with the resource tracker the
+  attach side immediately unregisters, so a worker's exit can never
+  unlink a segment the parent still serves.
+
+:class:`OutcomeMatrix` is the caller-facing wrapper: the same
+``.array``/``.close()`` surface whether the matrix lives in shared
+memory (pooled runs) or in a plain process-local array (serial and
+thread runs), so consumers are executor-agnostic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["OutcomeMatrix", "SharedOutcomeBuffer"]
+
+
+@contextmanager
+def _suppress_tracker_registration():
+    """Keep an attach from registering with the resource tracker (POSIX).
+
+    CPython < 3.13 registers *every* ``SharedMemory`` construction with
+    the resource tracker; an attaching worker would then fight the
+    creator over unlink responsibility (fork-started workers even share
+    the parent's tracker process, so register/unregister pairs from
+    concurrent workers race each other's cache entries).  Suppressing the
+    registration during attach leaves the creator as the sole registrant
+    — and the sole unlinker.  Each pool worker runs one task at a time,
+    so the brief swap is process-safe where it is used.
+    """
+    try:  # pragma: no cover - platform/version dependent
+        from multiprocessing import resource_tracker
+    except ImportError:
+        yield
+        return
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+class SharedOutcomeBuffer:
+    """A ``(shots, num_clbits)`` uint8 matrix in a named shared segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, shots: int, num_clbits: int, owner: bool):
+        self._shm = shm
+        self.shots = shots
+        self.num_clbits = num_clbits
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, shots: int, num_clbits: int) -> "SharedOutcomeBuffer":
+        """Allocate (and own) a zero-initialised segment for the matrix."""
+        if shots < 1:
+            raise ValueError("need at least one shot")
+        size = max(1, shots * num_clbits)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        buffer = cls(shm, shots, num_clbits, owner=True)
+        if num_clbits:
+            buffer.array.fill(0)
+        return buffer
+
+    @classmethod
+    def attach(cls, name: str, shots: int, num_clbits: int) -> "SharedOutcomeBuffer":
+        """Map an existing segment by name (worker side; non-owning)."""
+        with _suppress_tracker_registration():
+            shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, shots, num_clbits, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    def spec(self) -> tuple[str, int, int]:
+        """The picklable ``(name, shots, num_clbits)`` attach handle."""
+        return (self.name, self.shots, self.num_clbits)
+
+    @property
+    def array(self) -> np.ndarray:
+        """A writable ndarray view of the segment (no copy)."""
+        if self._closed:
+            raise ValueError("buffer is closed")
+        return np.ndarray(
+            (self.shots, self.num_clbits), dtype=np.uint8, buffer=self._shm.buf
+        )
+
+    def copy(self) -> np.ndarray:
+        """A process-local copy that survives :meth:`close`."""
+        return np.array(self.array, copy=True)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach; the owner also unlinks.  Idempotent.
+
+        Any ndarray views obtained from :attr:`array` must be dropped (or
+        copied) first — closing with live exports raises ``BufferError``
+        rather than silently invalidating them.
+        """
+        if self._closed:
+            return
+        self._shm.close()
+        if self.owner:
+            self._shm.unlink()
+        self._closed = True
+
+    def __enter__(self) -> "SharedOutcomeBuffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class OutcomeMatrix:
+    """Executor-agnostic handle to a full ``(shots, num_clbits)`` matrix.
+
+    Backed either by a plain process-local array (serial/thread
+    execution: ``close()`` is a no-op) or by a :class:`SharedOutcomeBuffer`
+    the caller must ``close()`` — use it as a context manager, and call
+    :meth:`copy` for data that must outlive the handle.
+    """
+
+    def __init__(self, array: np.ndarray, buffer: SharedOutcomeBuffer | None = None):
+        self._array: np.ndarray | None = array
+        self._buffer = buffer
+
+    @property
+    def shared(self) -> bool:
+        """Whether the matrix lives in a shared-memory segment."""
+        return self._buffer is not None
+
+    @property
+    def array(self) -> np.ndarray:
+        """The (possibly shared) matrix; invalid after :meth:`close`."""
+        if self._array is None:
+            raise ValueError("outcome matrix is closed")
+        return self._array
+
+    def copy(self) -> np.ndarray:
+        """A process-local copy that survives :meth:`close`."""
+        return np.array(self.array, copy=True)
+
+    def close(self) -> None:
+        """Release the backing segment (idempotent)."""
+        self._array = None
+        if self._buffer is not None:
+            buffer, self._buffer = self._buffer, None
+            buffer.close()
+
+    def __enter__(self) -> "OutcomeMatrix":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -79,6 +79,15 @@ class ServiceConfig:
 
     engine_workers: int = 2
     executor: str = "thread"
+    """Pool flavour for the shared engine: ``serial``, ``thread``,
+    ``process``, or ``auto`` (a process pool the dispatch cost model gates
+    per job — small jobs run inline, big ones fan out)."""
+
+    prewarm: bool = False
+    """Spin up process-pool workers at service construction, so the first
+    tenant's job never pays pool start-up latency.  No effect on serial
+    and thread executors."""
+
     concurrency: int = 2
     cache_dir: str | Path | None = None
     cache_max_entries: int | None = 1024
@@ -93,6 +102,10 @@ class ServiceConfig:
         """Raise :class:`ValueError` on any invalid field."""
         if self.engine_workers < 1:
             raise ValueError("engine_workers must be positive")
+        if self.executor not in ("serial", "thread", "process", "auto"):
+            raise ValueError(
+                "executor must be one of ('serial', 'thread', 'process', 'auto')"
+            )
         if self.concurrency < 1:
             raise ValueError("concurrency must be positive")
         if self.max_body_bytes < 1:

@@ -77,6 +77,8 @@ class ExperimentService:
         # bound, which a long-running process must not do.
         self.obs = Observability(tracer=NOOP_TRACER, metrics=MetricsRegistry())
         self.engine.set_observability(self.obs)
+        if self.config.prewarm:
+            self.engine.prewarm()
         self.queue = FairQueue(self.config)
         self.jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
         self._jobs_lock = threading.Lock()

@@ -41,6 +41,7 @@ __all__ = [
     "compile_circuit",
     "get_capabilities",
     "get_compiled",
+    "prime_compiled",
     "compile_cache_stats",
     "clear_compile_cache",
 ]
@@ -311,7 +312,7 @@ _CACHE_MAX = 256
 _program_cache: OrderedDict[tuple[bytes, bool, bool], CompiledProgram] = OrderedDict()
 _caps_cache: OrderedDict[bytes, CircuitCapabilities] = OrderedDict()
 _cache_lock = Lock()
-_stats = {"compiles": 0, "hits": 0, "compile_time": 0.0}
+_stats = {"compiles": 0, "hits": 0, "primed": 0, "compile_time": 0.0}
 
 
 def get_compiled(
@@ -355,6 +356,33 @@ def get_compiled(
     return program
 
 
+def prime_compiled(circuit: Circuit, program: CompiledProgram) -> bool:
+    """Seed the cache with a program compiled by another process.
+
+    The warm-worker path ships the parent's already-compiled program with
+    the first batch group so pool workers skip the recompile entirely;
+    the cache key is re-derived here from the circuit digest plus the
+    program's own noise-compilation flags, so a primed entry can never be
+    served for the wrong compilation mode.  Returns ``True`` when the
+    program was inserted, ``False`` when an entry already existed (the
+    resident entry wins — it is byte-equivalent by construction).
+    """
+    key = (circuit.content_digest(), program.gate_noise, program.link_noise)
+    with _cache_lock:
+        if key in _program_cache:
+            _program_cache.move_to_end(key)
+            return False
+        _stats["primed"] += 1
+        _program_cache[key] = program
+        _caps_cache[key[0]] = program.capabilities
+        while len(_program_cache) > _CACHE_MAX:
+            _program_cache.popitem(last=False)
+        while len(_caps_cache) > _CACHE_MAX:
+            _caps_cache.popitem(last=False)
+    get_observability().metrics.counter("compile.cache", outcome="primed").inc()
+    return True
+
+
 def get_capabilities(circuit: Circuit) -> CircuitCapabilities:
     """Cached capability flags (scan only; no matrices are resolved)."""
     key = circuit.content_digest()
@@ -382,4 +410,4 @@ def clear_compile_cache() -> None:
     with _cache_lock:
         _program_cache.clear()
         _caps_cache.clear()
-        _stats.update({"compiles": 0, "hits": 0, "compile_time": 0.0})
+        _stats.update({"compiles": 0, "hits": 0, "primed": 0, "compile_time": 0.0})
