@@ -98,6 +98,14 @@ class CostModel:
     stochastic_site_factor: float = 4.0
     """Extra amplitude passes a collapse/fault site costs vs a unitary."""
 
+    tableau_ref_op_seconds: float = 4e-8
+    """Per op per qubit, the stabilizer kernel's one-time reference tableau
+    pass (O(n^2) rowsums amortize to ~n bit-ops per op per qubit)."""
+
+    frame_shot_op_seconds: float = 1.5e-9
+    """Per shot per weighted op, packed-frame propagation (a few boolean
+    column ops over a (shots, n) matrix)."""
+
     group_overhead_seconds: float = 1.5e-3
     fanout_gain_floor: float = 0.25
     target_group_seconds: float = 0.05
@@ -114,6 +122,15 @@ class CostModel:
     ) -> float:
         """Rough serial runtime of one job on ``backend``."""
         ops = max(num_instructions, 1)
+        if backend == "stabilizer":
+            # Compile-once O(ops * n^2) reference pass (cached across
+            # batches, charged once here) + O(shots * n) frame propagation.
+            weighted = ops + self.stochastic_site_factor * max(stochastic_sites, 0)
+            ref = ops * float(num_qubits) * self.tableau_ref_op_seconds * num_qubits
+            frames = (
+                float(shots) * weighted * num_qubits * self.frame_shot_op_seconds
+            )
+            return ref + frames + weighted * self.vector_op_overhead_seconds
         if backend in _VECTORIZED_BACKENDS:
             weighted = ops + self.stochastic_site_factor * max(stochastic_sites, 0)
             amps = float(shots) * float(2**min(num_qubits, 30))

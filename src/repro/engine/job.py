@@ -40,8 +40,17 @@ MODES = ("sample", "exact", "frames")
 
 #: Backends a job may explicitly pin via ``Job.backend`` (``None`` = route
 #: automatically).  ``statevector-ref`` is the per-shot reference
-#: interpreter, kept for cross-validating the vectorized kernel.
-JOB_BACKENDS = ("tableau", "pauliframe", "statevector", "statevector-ref", "density")
+#: interpreter, kept for cross-validating the vectorized kernel;
+#: ``stabilizer`` is the compile-once/sample-many batched frame kernel for
+#: Clifford circuits under Pauli/link noise.
+JOB_BACKENDS = (
+    "tableau",
+    "stabilizer",
+    "pauliframe",
+    "statevector",
+    "statevector-ref",
+    "density",
+)
 
 
 @dataclass(frozen=True)
@@ -149,13 +158,15 @@ class Job:
     def content_hash(self) -> str:
         """Stable hex digest of everything that determines the result.
 
-        The ``v3`` tag marks the physical-network era: circuits may carry
-        QPU/hop site tags and noise models may carry link rates and per-QPU
-        overrides, so cache entries persisted by the ideal-link ``v2`` (or
-        the per-shot ``v1``) pipeline must never be served.
+        The ``v4`` tag marks the stabilizer-kernel era: auto-routing now
+        sends Clifford sample jobs (including Pauli/link-noisy ones) to the
+        batched stabilizer kernel, whose RNG consumption differs from the
+        backends that served them before, so cached bits persisted by the
+        ``v3`` physical-network pipeline (or the earlier ``v2``/``v1``
+        eras) must never be served.
         """
         h = hashlib.sha256()
-        h.update(b"repro-job-v3")
+        h.update(b"repro-job-v4")
         h.update(_circuit_digest(self.circuit))
         if self.backend is not None:
             h.update(b"be" + self.backend.encode())

@@ -16,11 +16,16 @@ Routing rules, in order:
    sampling; requires a Clifford circuit (Pauli-only feedback) and a
    non-trivial Pauli noise model.
 3. ``mode="sample"``:
-   a. :class:`TableauSimulator` when the circuit is Clifford-only, the job
-      is noiseless, and the input is the computational basis state (the
-      tableau cannot load arbitrary amplitudes) — O(n^2) per gate instead of
-      O(2^n).
-   b. the vectorized batched statevector kernel otherwise — it handles
+   a. the batched **stabilizer** kernel when the circuit is Clifford with
+      Pauli-only feedback, no conditioned measure/reset, and the input is
+      the computational basis state — noiseless *or* noisy: every channel a
+      :class:`NoiseModel` expresses (gate depolarizing, readout flips,
+      hop-weighted link faults) is a Pauli channel the frame formalism
+      absorbs.  Compile-once O(gates * n^2), then O(shots * n) per gate.
+   b. the per-shot :class:`TableauSimulator` for the residual Clifford
+      cases the frame kernel cannot serve (conditioned collapse, non-Pauli
+      feedback) when the job is noiseless on a basis input.
+   c. the vectorized batched statevector kernel otherwise — it handles
       non-Clifford gates, arbitrary input states, stochastic input
       ensembles, and circuit-level depolarizing noise.
 """
@@ -81,9 +86,24 @@ class BackendRouter:
             )
         noiseless = job.noise is None or job.noise.is_noiseless
         basis_input = job.initial_state is None and not job.ensembles
+        if (
+            basis_input
+            and capabilities.is_frame_compatible
+            and not capabilities.has_conditioned_collapse
+        ):
+            # NoiseModel is Pauli-only by construction, so *any* noise
+            # configuration is stabilizer-compatible here.
+            reason = (
+                "Clifford circuit, basis input: batched stabilizer kernel"
+                if noiseless
+                else "Clifford circuit + Pauli/link noise: batched stabilizer kernel"
+            )
+            return BackendChoice("stabilizer", reason)
         if basis_input and noiseless and capabilities.is_clifford:
             return BackendChoice(
-                "tableau", "Clifford-only, noiseless, basis input: stabilizer tableau"
+                "tableau",
+                "Clifford-only, noiseless, basis input (frame-incompatible "
+                "feedback/collapse): per-shot stabilizer tableau",
             )
         return BackendChoice(
             "statevector", "general circuit/input/noise: vectorized batch kernel"
@@ -119,4 +139,18 @@ class BackendRouter:
                 raise ValueError(
                     "the tableau backend needs a noiseless Clifford circuit "
                     "on a basis input"
+                )
+            return
+        if backend == "stabilizer":
+            basis_input = job.initial_state is None and not job.ensembles
+            capabilities = get_capabilities(job.circuit)
+            if not (
+                basis_input
+                and capabilities.is_frame_compatible
+                and not capabilities.has_conditioned_collapse
+            ):
+                raise ValueError(
+                    "the stabilizer backend needs a Clifford circuit with "
+                    "Pauli-only feedback, unconditioned collapse, and a "
+                    "basis input"
                 )

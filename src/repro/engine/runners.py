@@ -41,6 +41,13 @@ import numpy as np
 
 from ..obs.trace import span_record
 from ..sim.batched import run_batched
+from ..sim.batched_stabilizer import (
+    StabilizerProgram,
+    get_stabilizer,
+    prime_stabilizer,
+    run_batched_stabilizer,
+    stabilizer_cache_stats,
+)
 from ..sim.compile import compile_cache_stats, get_compiled, prime_compiled
 from ..sim.density import DensitySimulator
 from ..sim.pauliframe import PauliFrameSimulator
@@ -258,6 +265,8 @@ def _dispatch_batch(job: Job, batch: Batch, backend: str) -> BatchStats:
         return _statevector_batch(job, batch)
     if backend == "statevector-ref":
         return _statevector_ref_batch(job, batch)
+    if backend == "stabilizer":
+        return _stabilizer_batch(job, batch)
     if backend == "tableau":
         return _tableau_batch(job, batch)
     if backend == "pauliframe":
@@ -435,6 +444,26 @@ def _statevector_ref_batch(job: Job, batch: Batch) -> BatchStats:
     return stats
 
 
+def _stabilizer_batch(job: Job, batch: Batch) -> BatchStats:
+    """Batched stabilizer kernel: compile-once reference pass + packed frames."""
+    if job.initial_state is not None or job.ensembles:
+        raise ValueError("the stabilizer backend requires the basis input state")
+    rng = batch_rng(job.seed, batch.index)
+    kernel_rng = np.random.default_rng(int(rng.integers(2**63)))
+    noise = job.noise if job.noise is not None and not job.noise.is_noiseless else None
+
+    compile_start = time.perf_counter()
+    program = get_stabilizer(job.circuit)
+    compile_time = time.perf_counter() - compile_start
+
+    stats = BatchStats(index=batch.index, shots=batch.shots, compile_time=compile_time)
+    execute_start = time.perf_counter()
+    result = run_batched_stabilizer(program, batch.shots, kernel_rng, noise=noise)
+    _accumulate_matrix(stats, result.clbits, job)
+    stats.execute_time = time.perf_counter() - execute_start
+    return stats
+
+
 def _tableau_batch(job: Job, batch: Batch) -> BatchStats:
     rng = batch_rng(job.seed, batch.index)
     stats = BatchStats(index=batch.index, shots=batch.shots)
@@ -535,7 +564,12 @@ def worker_cache_info() -> dict:
     """This process's warm-cache occupancy, for diagnostics and tests."""
     with _worker_jobs_lock:
         jobs = len(_WORKER_JOBS)
-    return {"pid": os.getpid(), "jobs": jobs, "compile": compile_cache_stats()}
+    return {
+        "pid": os.getpid(),
+        "jobs": jobs,
+        "compile": compile_cache_stats(),
+        "stabilizer": stabilizer_cache_stats(),
+    }
 
 
 def execute_batch_group(
@@ -571,7 +605,10 @@ def execute_batch_group(
 
     primed = False
     if program is not None:
-        primed = prime_compiled(job.circuit, program)
+        if isinstance(program, StabilizerProgram):
+            primed = prime_stabilizer(job.circuit, program)
+        else:
+            primed = prime_compiled(job.circuit, program)
 
     compile_before = compile_cache_stats()
     start_unix = time.time()

@@ -52,6 +52,7 @@ from concurrent.futures import (
 )
 
 from ..obs.runtime import NOOP
+from ..sim.batched_stabilizer import get_stabilizer
 from ..sim.compile import get_capabilities, get_compiled
 from .cancel import CancelToken
 from .costmodel import CostModel, DispatchPlan
@@ -295,10 +296,16 @@ class Scheduler:
     def compiled_for(self, job: Job, backend: str):
         """The parent-side compiled program to prime workers with (or None).
 
-        Only the vectorized statevector backend has a compiled artifact;
-        the parent's compile cache makes repeat calls free, so shipping it
-        costs one compile per distinct circuit across the whole run.
+        The vectorized statevector backend ships its
+        :class:`~repro.sim.compile.CompiledProgram` and the batched
+        stabilizer backend its
+        :class:`~repro.sim.batched_stabilizer.StabilizerProgram` (which
+        embeds the one-time reference tableau pass — the expensive part).
+        The parent's caches make repeat calls free, so shipping costs one
+        compile per distinct circuit across the whole run.
         """
+        if backend == "stabilizer":
+            return get_stabilizer(job.circuit)
         if backend != "statevector":
             return None
         noise = job.noise

@@ -1,8 +1,17 @@
 """Simulators: statevector (per-shot reference + vectorized batch kernel),
-density matrix, stabilizer tableau, Pauli frame — plus the circuit compiler
-that lowers the IR into frozen, executable programs."""
+density matrix, stabilizer tableau, batched stabilizer frames, Pauli frame —
+plus the circuit compiler that lowers the IR into frozen, executable
+programs and the array-API backend layer the dense kernel dispatches on."""
 
 from .batched import BatchRunResult, run_batched
+from .batched_stabilizer import (
+    StabilizerProgram,
+    StabilizerRunResult,
+    compile_stabilizer,
+    get_stabilizer,
+    run_batched_frames,
+    run_batched_stabilizer,
+)
 from .compile import (
     CircuitCapabilities,
     CompiledProgram,
@@ -17,10 +26,24 @@ from .pauli import Pauli
 from .pauliframe import FrameSample, PauliFrameSimulator
 from .statevector import StatevectorSimulator, TrajectoryResult, simulate_statevector
 from .tableau import TableauSimulator
+from .xp import (
+    ARRAY_APIS,
+    ArrayBackend,
+    get_array_backend,
+    reset_array_backend,
+    resolve_array_backend,
+    set_array_backend,
+)
 
 __all__ = [
     "BatchRunResult",
     "run_batched",
+    "StabilizerProgram",
+    "StabilizerRunResult",
+    "compile_stabilizer",
+    "get_stabilizer",
+    "run_batched_frames",
+    "run_batched_stabilizer",
     "CircuitCapabilities",
     "CompiledProgram",
     "analyze_circuit",
@@ -39,4 +62,10 @@ __all__ = [
     "TrajectoryResult",
     "simulate_statevector",
     "TableauSimulator",
+    "ARRAY_APIS",
+    "ArrayBackend",
+    "get_array_backend",
+    "reset_array_backend",
+    "resolve_array_backend",
+    "set_array_backend",
 ]

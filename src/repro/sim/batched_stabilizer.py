@@ -1,0 +1,593 @@
+"""Compile-once / sample-many batched stabilizer kernel.
+
+The per-shot :class:`~repro.sim.tableau.TableauSimulator` re-runs the full
+O(n^2)-per-measurement CHP algorithm for every shot, and the dense batched
+kernel pays O(shots * 2**n) amplitudes per gate.  For the paper's Clifford
+workloads (GHZ distribution, constant-depth fanout, teleportation frames)
+neither is necessary: one **reference tableau pass** over the circuit fixes
+every deterministic measurement outcome and identifies the random-measurement
+sites, and all per-shot variation — measurement randomness, Pauli gate
+faults, hop-weighted link faults, readout flips, reset, parity-conditioned
+Pauli feedback — propagates as packed ``(shots, n)`` X/Z deviation frames
+under numpy bitwise ops.  Total cost: O(gates * n^2) once at compile time
+plus O(shots * n) per gate at sampling time, which scales to hundreds of
+qubits.
+
+This is the sampling strategy Stim introduced (Gidney, Quantum 5, 497):
+
+* the reference pass forces every random measurement to outcome 0 (the
+  determinism structure of stabilizer measurements depends only on the X/Z
+  parts of the tableau, never on the sign column, so forcing signs cannot
+  change which later sites are random);
+* each shot's deviation from the reference is a Pauli frame; Clifford gates
+  conjugate it column-wise, measurement records flip where the frame has X
+  support;
+* measurement randomness comes from **frame randomization**: ``|0..0>`` is
+  Z-stabilized, so seeding each shot's frame with a uniformly random Z on
+  every qubit (and re-randomizing Z after every measurement and reset) is
+  physically undetectable at deterministic sites — the injected operator is
+  always an element of the instantaneous stabilizer group — while at random
+  sites it makes the recorded bit a fair coin, exactly the Born rule;
+* a Pauli correction conditioned on a parity of classical bits diverges
+  between the noisy and ideal runs exactly when the parity of the record
+  *deviations* is odd, in which case the correction Pauli joins the frame
+  (paper Sec 5.1's effective-error calculus).
+
+Programs are cached per process by circuit content digest
+(:func:`get_stabilizer`), and the warm-worker protocol can ship a parent's
+program to pool workers (:func:`prime_stabilizer`), mirroring
+:mod:`repro.sim.compile` for the dense kernel.
+
+Two entry points share the propagation/fault machinery:
+
+* :func:`run_batched_stabilizer` — ``mode="sample"`` semantics: absolute
+  classical registers (reference bits XOR per-shot deviations), matching the
+  dense kernel's output distribution-for-distribution;
+* :func:`run_batched_frames` — ``mode="frames"`` semantics: deviation-only
+  frames over a raw circuit, vectorizing
+  :meth:`repro.sim.pauliframe.PauliFrameSimulator.sample` shot loops
+  (same fault model, including its unconditional noise draw at conditioned
+  Pauli sites, so the per-shot API remains a valid cross-check reference).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import GATES
+from .noisemodel import NoiseModel
+from .tableau import TableauSimulator
+
+__all__ = [
+    "StabilizerOp",
+    "StabilizerProgram",
+    "StabilizerRunResult",
+    "compile_stabilizer",
+    "get_stabilizer",
+    "prime_stabilizer",
+    "run_batched_frames",
+    "run_batched_stabilizer",
+    "stabilizer_cache_stats",
+    "clear_stabilizer_cache",
+]
+
+#: Gate names the tableau reference pass (and frame conjugation) supports.
+_CLIFFORD_GATES = frozenset(
+    name for name, spec in GATES.items() if spec.clifford
+)
+
+_PAULI_FEEDBACK = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class StabilizerOp:
+    """One executable step of a stabilizer program.
+
+    ``kind`` is ``"gate"``, ``"measure"``, or ``"reset"``.  The reference
+    pass bakes its per-site results in at compile time: ``random`` marks a
+    measurement/reset whose outcome is not determined by the stabilizer
+    group (the reference forces it to 0), ``ref_outcome`` is the reference
+    outcome actually taken, and ``ref_fires`` records whether a conditioned
+    Pauli fired in the reference run.  ``qpu``/``hops`` are the site tags
+    heterogeneous noise and link faults resolve through.
+    """
+
+    kind: str
+    name: str
+    qubits: tuple[int, ...]
+    clbit: int = -1
+    cond_clbits: tuple[int, ...] | None = None
+    cond_value: int = 1
+    qpu: str | None = None
+    hops: int = 0
+    random: bool = False
+    ref_outcome: int = 0
+    ref_fires: bool = False
+
+
+@dataclass(frozen=True)
+class StabilizerProgram:
+    """A frozen Clifford circuit lowering plus its reference-pass results.
+
+    The reference pass runs exactly once, at compile time; sampling any
+    number of shots afterwards touches only the packed frame matrices.
+    Picklable by construction so the warm-worker protocol can ship it.
+    """
+
+    num_qubits: int
+    num_clbits: int
+    ops: tuple[StabilizerOp, ...]
+    ref_clbits: tuple[int, ...]
+    num_random_sites: int
+    source_ops: int
+
+
+@dataclass
+class StabilizerRunResult:
+    """Outcome of one batched stabilizer invocation (sample semantics)."""
+
+    clbits: np.ndarray
+    """(shots, num_clbits) uint8 matrix of final classical registers."""
+
+
+def compile_stabilizer(circuit: Circuit) -> StabilizerProgram:
+    """Lower a Clifford circuit and run its reference tableau pass.
+
+    Raises :class:`ValueError` when the circuit leaves the kernel's
+    contract: non-Clifford gates, non-Pauli classical feedback, or
+    conditioned measure/reset (the frame formalism requires the noisy and
+    ideal runs to execute the same collapse sites).
+
+    The reference pass is RNG-free: random measurement sites are forced to
+    outcome 0 (see the module docstring for why that is sound) and resets
+    collapse through the same forced path, so compiling never consumes
+    entropy and the program is a pure function of the circuit.
+    """
+    n = circuit.num_qubits
+    sim = TableauSimulator(n)
+    ref_clbits = [0] * circuit.num_clbits
+    ops: list[StabilizerOp] = []
+    num_random = 0
+    source_ops = 0
+
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        source_ops += 1
+        if inst.name in ("measure", "reset"):
+            if inst.condition is not None:
+                raise ValueError(
+                    "conditioned measure/reset makes the collapse structure "
+                    "shot-dependent; the stabilizer kernel cannot serve it"
+                )
+            q = inst.qubits[0]
+            random = bool(np.any(sim.x[n : 2 * n, q]))
+            outcome, _ = sim.measure(q, forced=0 if random else None)
+            if inst.name == "reset":
+                if outcome == 1:
+                    sim.x_gate(q)
+                ops.append(
+                    StabilizerOp(
+                        kind="reset",
+                        name="reset",
+                        qubits=(q,),
+                        random=random,
+                        ref_outcome=outcome,
+                    )
+                )
+            else:
+                ref_clbits[inst.clbits[0]] = outcome
+                ops.append(
+                    StabilizerOp(
+                        kind="measure",
+                        name="measure",
+                        qubits=(q,),
+                        clbit=inst.clbits[0],
+                        qpu=inst.qpu,
+                        random=random,
+                        ref_outcome=outcome,
+                    )
+                )
+            if random:
+                num_random += 1
+            continue
+        if inst.name not in _CLIFFORD_GATES:
+            raise ValueError(
+                f"non-Clifford gate {inst.name!r}; the stabilizer kernel "
+                "handles the Clifford fragment only"
+            )
+        if inst.condition is not None:
+            if inst.name not in _PAULI_FEEDBACK:
+                raise ValueError(
+                    f"conditioned gate {inst.name!r} is not a Pauli; "
+                    "frame propagation is undefined for it"
+                )
+            fires = inst.condition.evaluate(ref_clbits)
+            if fires:
+                _apply_reference_gate(sim, inst.name, inst.qubits)
+            ops.append(
+                StabilizerOp(
+                    kind="gate",
+                    name=inst.name,
+                    qubits=inst.qubits,
+                    cond_clbits=inst.condition.clbits,
+                    cond_value=inst.condition.value,
+                    qpu=inst.qpu,
+                    hops=inst.hops,
+                    ref_fires=fires,
+                )
+            )
+            continue
+        _apply_reference_gate(sim, inst.name, inst.qubits)
+        ops.append(
+            StabilizerOp(
+                kind="gate",
+                name=inst.name,
+                qubits=inst.qubits,
+                qpu=inst.qpu,
+                hops=inst.hops,
+            )
+        )
+
+    return StabilizerProgram(
+        num_qubits=n,
+        num_clbits=circuit.num_clbits,
+        ops=tuple(ops),
+        ref_clbits=tuple(ref_clbits),
+        num_random_sites=num_random,
+        source_ops=source_ops,
+    )
+
+
+_REFERENCE_DISPATCH = {
+    "h": "h",
+    "s": "s",
+    "sdg": "sdg",
+    "x": "x_gate",
+    "y": "y_gate",
+    "z": "z_gate",
+    "cx": "cx",
+    "cz": "cz",
+    "swap": "swap",
+}
+
+
+def _apply_reference_gate(sim: TableauSimulator, name: str, qubits: tuple[int, ...]) -> None:
+    if name == "id":
+        return
+    method = _REFERENCE_DISPATCH.get(name)
+    if method is None:  # pragma: no cover - guarded by the Clifford check
+        raise ValueError(f"gate {name!r} has no tableau lowering")
+    getattr(sim, method)(*qubits)
+
+
+# ----------------------------------------------------------------------
+# Per-process program cache (mirrors sim.compile's compiled-program cache)
+# ----------------------------------------------------------------------
+_CACHE_MAX = 256
+_program_cache: OrderedDict[bytes, StabilizerProgram] = OrderedDict()
+_cache_lock = Lock()
+_stats = {"compiles": 0, "hits": 0, "primed": 0, "compile_time": 0.0}
+
+
+def get_stabilizer(circuit: Circuit) -> StabilizerProgram:
+    """Compile-once accessor, keyed by the circuit's content digest.
+
+    The program embeds no noise information — fault sites resolve their
+    rates at run time from the job's :class:`NoiseModel` — so one cache
+    entry serves every noise configuration of a circuit.
+    """
+    key = circuit.content_digest()
+    with _cache_lock:
+        program = _program_cache.get(key)
+        if program is not None:
+            _program_cache.move_to_end(key)
+            _stats["hits"] += 1
+            return program
+    start = time.perf_counter()
+    program = compile_stabilizer(circuit)
+    elapsed = time.perf_counter() - start
+    with _cache_lock:
+        _stats["compiles"] += 1
+        _stats["compile_time"] += elapsed
+        _program_cache[key] = program
+        while len(_program_cache) > _CACHE_MAX:
+            _program_cache.popitem(last=False)
+    return program
+
+
+def prime_stabilizer(circuit: Circuit, program: StabilizerProgram) -> bool:
+    """Seed the cache with a program compiled by another process.
+
+    Same contract as :func:`repro.sim.compile.prime_compiled`: the key is
+    re-derived from the circuit, the resident entry wins, and the return
+    value says whether this call inserted anything.
+    """
+    key = circuit.content_digest()
+    with _cache_lock:
+        if key in _program_cache:
+            _program_cache.move_to_end(key)
+            return False
+        _stats["primed"] += 1
+        _program_cache[key] = program
+        while len(_program_cache) > _CACHE_MAX:
+            _program_cache.popitem(last=False)
+    return True
+
+
+def stabilizer_cache_stats() -> dict:
+    """Snapshot of the process-wide stabilizer compile counters."""
+    with _cache_lock:
+        return dict(_stats, cached_programs=len(_program_cache))
+
+
+def clear_stabilizer_cache() -> None:
+    """Drop all cached programs and reset counters (tests only)."""
+    with _cache_lock:
+        _program_cache.clear()
+        _stats.update({"compiles": 0, "hits": 0, "primed": 0, "compile_time": 0.0})
+
+
+# ----------------------------------------------------------------------
+# Sampling (mode="sample"): reference bits XOR propagated deviations
+# ----------------------------------------------------------------------
+def run_batched_stabilizer(
+    program: StabilizerProgram,
+    shots: int,
+    rng: np.random.Generator,
+    *,
+    noise: NoiseModel | None = None,
+) -> StabilizerRunResult:
+    """Sample ``shots`` classical registers of a compiled Clifford circuit.
+
+    Every shot starts on the computational basis state ``|0..0>``.  The
+    noise model may carry gate depolarizing, readout flips, and
+    hop-weighted link faults — all Pauli channels, which is every channel
+    a :class:`NoiseModel` can express — or be ``None``/noiseless for pure
+    measurement sampling.
+
+    RNG consumption is a fixed function of ``(program, noise flags)``:
+    frame seeding, one draw block per stochastic site in program order.
+    Results therefore depend only on the generator handed in, never on
+    worker count or batch interleaving (the engine's determinism
+    contract).
+    """
+    if shots < 1:
+        raise ValueError("need at least one shot")
+    if noise is not None and noise.is_noiseless:
+        noise = None
+    n = program.num_qubits
+    gate_noise = noise is not None and noise.has_gate_noise
+    link_noise = noise is not None and noise.has_link_noise
+
+    fx = np.zeros((shots, n), dtype=bool)
+    # |0..0> is stabilized by every Z, so a uniformly random Z frame per
+    # qubit is invisible now and supplies the Born-rule coin at whatever
+    # random measurement sites the circuit reaches (module docstring).
+    fz = rng.random((shots, n)) < 0.5
+    flips = np.zeros((shots, program.num_clbits), dtype=bool)
+
+    for op in program.ops:
+        if op.kind == "measure":
+            q = op.qubits[0]
+            column = fx[:, q].copy()
+            rate = noise.meas_flip_rate(op.qpu) if noise is not None else 0.0
+            if rate > 0.0:
+                column ^= rng.random(shots) < rate
+            flips[:, op.clbit] = column
+            fz[:, q] = rng.random(shots) < 0.5
+            continue
+        if op.kind == "reset":
+            # Both the reference and every shot re-prepare |0> here, so the
+            # X deviation dies; Z is re-randomized like after a measurement.
+            q = op.qubits[0]
+            fx[:, q] = False
+            fz[:, q] = rng.random(shots) < 0.5
+            continue
+        if op.cond_clbits is not None:
+            odd = _flip_parity(flips, op.cond_clbits)
+            q = op.qubits[0]
+            if op.name in ("x", "y"):
+                fx[:, q] ^= odd
+            if op.name in ("y", "z"):
+                fz[:, q] ^= odd
+            # Faults fire only on shots that physically execute the gate
+            # (reference firing XOR deviation parity), matching the dense
+            # kernel's conditioned-site semantics.
+            if gate_noise or (link_noise and op.hops):
+                fires = odd ^ op.ref_fires
+                if gate_noise:
+                    _inject_frame_faults(
+                        fx, fz, fires, op.qubits,
+                        noise.gate_error_rate(len(op.qubits), op.qpu), rng,
+                    )
+                if link_noise and op.hops:
+                    _inject_frame_faults(
+                        fx, fz, fires, op.qubits,
+                        noise.link_error_rate(op.hops), rng,
+                    )
+            continue
+        _conjugate_frames(op.name, op.qubits, fx, fz)
+        if gate_noise:
+            _inject_frame_faults(
+                fx, fz, None, op.qubits,
+                noise.gate_error_rate(len(op.qubits), op.qpu), rng,
+            )
+        if link_noise and op.hops:
+            _inject_frame_faults(
+                fx, fz, None, op.qubits, noise.link_error_rate(op.hops), rng
+            )
+
+    if program.num_clbits:
+        ref = np.asarray(program.ref_clbits, dtype=np.uint8)
+        clbits = ref[None, :] ^ flips.astype(np.uint8)
+    else:
+        clbits = np.zeros((shots, 0), dtype=np.uint8)
+    return StabilizerRunResult(clbits=clbits)
+
+
+# ----------------------------------------------------------------------
+# Frames mode: deviation-only sampling over a raw circuit
+# ----------------------------------------------------------------------
+def run_batched_frames(
+    circuit: Circuit,
+    noise: NoiseModel,
+    shots: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorize ``shots`` Pauli-frame walks of a noisy Clifford circuit.
+
+    Semantics match :meth:`repro.sim.pauliframe.PauliFrameSimulator.sample`
+    exactly — deviation-only frames, no measurement-outcome randomization,
+    reset clears the frame, and the noise draw at a conditioned Pauli site
+    is unconditional — so the per-shot API remains the cross-check
+    reference.  Only the RNG *consumption order* differs (one vectorized
+    draw per site instead of one scalar draw per shot per site), so equal
+    seeds give different, equally valid samples of the same distribution.
+
+    Returns ``(fx, fz, flips)``: the final ``(shots, n)`` X/Z frame
+    matrices and the ``(shots, num_clbits)`` record-deviation matrix.
+    """
+    if shots < 1:
+        raise ValueError("need at least one shot")
+    n = circuit.num_qubits
+    fx = np.zeros((shots, n), dtype=bool)
+    fz = np.zeros((shots, n), dtype=bool)
+    flips = np.zeros((shots, circuit.num_clbits), dtype=bool)
+    gate_noise = noise.has_gate_noise
+    link_noise = noise.has_link_noise
+
+    for inst in circuit.instructions:
+        name = inst.name
+        if name == "barrier":
+            continue
+        if name == "measure":
+            q = inst.qubits[0]
+            column = fx[:, q].copy()
+            rate = noise.meas_flip_rate(inst.qpu)
+            if rate > 0.0:
+                column ^= rng.random(shots) < rate
+            flips[:, inst.clbits[0]] = column
+            # The Z component on a measured qubit is unobservable and the
+            # post-measurement state is an eigenstate, so clear it.
+            fz[:, q] = False
+            continue
+        if name == "reset":
+            fx[:, inst.qubits[0]] = False
+            fz[:, inst.qubits[0]] = False
+            continue
+        if inst.condition is not None:
+            odd = _flip_parity(flips, inst.condition.clbits)
+            q = inst.qubits[0]
+            if name in ("x", "y"):
+                fx[:, q] ^= odd
+            if name in ("y", "z"):
+                fz[:, q] ^= odd
+        else:
+            _conjugate_frames(name, inst.qubits, fx, fz)
+        # Per-shot reference injects gate noise at every gate site —
+        # conditioned Paulis included, unconditionally — then the link
+        # fault; keep that exact fault model here.
+        if gate_noise:
+            _inject_frame_faults(
+                fx, fz, None, inst.qubits,
+                noise.gate_error_rate(len(inst.qubits), inst.qpu), rng,
+            )
+        if link_noise and inst.hops:
+            _inject_frame_faults(
+                fx, fz, None, inst.qubits, noise.link_error_rate(inst.hops), rng
+            )
+    return fx, fz, flips
+
+
+# ----------------------------------------------------------------------
+# Shared frame machinery
+# ----------------------------------------------------------------------
+def _flip_parity(flips: np.ndarray, clbits: tuple[int, ...]) -> np.ndarray:
+    """Per-shot XOR of the selected record-deviation columns."""
+    acc = flips[:, clbits[0]].copy()
+    for c in clbits[1:]:
+        acc ^= flips[:, c]
+    return acc
+
+
+def _conjugate_frames(
+    name: str, qubits: tuple[int, ...], fx: np.ndarray, fz: np.ndarray
+) -> None:
+    """Conjugate every shot's frame through one Clifford gate, in place.
+
+    Paulis commute with any Pauli frame up to a global phase frames do not
+    track, so they are no-ops here (their effect on *reference* outcomes
+    lives in the compile-time tableau pass).
+    """
+    if name in ("x", "y", "z", "id"):
+        return
+    if name == "h":
+        q = qubits[0]
+        tmp = fx[:, q].copy()
+        fx[:, q] = fz[:, q]
+        fz[:, q] = tmp
+        return
+    if name in ("s", "sdg"):
+        q = qubits[0]
+        fz[:, q] ^= fx[:, q]
+        return
+    if name == "cx":
+        c, t = qubits
+        fx[:, t] ^= fx[:, c]
+        fz[:, c] ^= fz[:, t]
+        return
+    if name == "cz":
+        a, b = qubits
+        fz[:, b] ^= fx[:, a]
+        fz[:, a] ^= fx[:, b]
+        return
+    if name == "swap":
+        a, b = qubits
+        tmp = fx[:, a].copy()
+        fx[:, a] = fx[:, b]
+        fx[:, b] = tmp
+        tmp = fz[:, a].copy()
+        fz[:, a] = fz[:, b]
+        fz[:, b] = tmp
+        return
+    raise AssertionError(f"unreachable gate {name!r}")
+
+
+def _inject_frame_faults(
+    fx: np.ndarray,
+    fz: np.ndarray,
+    mask: np.ndarray | None,
+    qubits: tuple[int, ...],
+    rate: float,
+    rng: np.random.Generator,
+) -> None:
+    """One depolarizing draw over all shots, XORed into the frames.
+
+    Draws the firing vector for the whole batch (a fixed-size draw keeps
+    RNG consumption independent of ``mask``), then one uniform
+    non-identity Pauli word per firing shot — the same ``[1, 4**k)``
+    encoding as the dense kernel's ``_inject_faults`` — and XORs each
+    word's X/Z bits into the firing shots' frame columns.
+    """
+    if rate <= 0.0:
+        return
+    fires = rng.random(fx.shape[0]) < rate
+    if mask is not None:
+        fires &= mask
+    hit = np.nonzero(fires)[0]
+    if hit.size == 0:
+        return
+    k = len(qubits)
+    words = rng.integers(1, 4**k, size=hit.size)
+    for i, q in enumerate(qubits):
+        w = (words >> (2 * (k - 1 - i))) & 3
+        # Word digits follow _PAULI_NAMES: 1 -> X, 2 -> Y, 3 -> Z.
+        fx[hit, q] ^= (w == 1) | (w == 2)
+        fz[hit, q] ^= (w == 2) | (w == 3)

@@ -1,0 +1,210 @@
+"""Array-API backend selection for the vectorized kernels.
+
+The dense batched kernel (:mod:`repro.sim.batched`) evolves ``(shots, 2**n)``
+complex arrays with a handful of array operations — reshape, axis permutation,
+broadcast matmul, reductions, masked recombination.  All of them exist in the
+`array API standard <https://data-apis.org/array-api/>`_, so the same compiled
+program can run on NumPy (default), CuPy (GPU), JAX, or the standard's
+conformance namespace ``array_api_strict``.
+
+This module resolves the namespace **once per process** into an
+:class:`ArrayBackend` — the ``xp`` module plus the two transfer functions the
+kernel calls at batch boundaries (RNG draws, classical bits, and final results
+always live on the host as NumPy arrays).  Selection:
+
+* ``REPRO_ARRAY_API`` environment variable (inherited by pool workers), or
+* :func:`set_array_backend` (what ``RunOptions.array_api`` calls), or
+* the default, ``"numpy"``.
+
+Requesting a namespace that is not importable **falls back to NumPy** and
+records why in :attr:`ArrayBackend.fallback_reason` — an engine run never
+fails because an accelerator library is absent.  Unknown names raise.
+
+``inplace=True`` marks NumPy-semantics namespaces where the kernel may use
+its historical in-place fast path (views, fancy-index assignment); every
+other namespace takes the functional, standard-conforming path.  Forcing
+``ArrayBackend(name="numpy", xp=numpy, inplace=False)`` runs the portable
+path on NumPy itself — how the CI conformance job cross-checks the two.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ARRAY_APIS",
+    "ArrayBackend",
+    "get_array_backend",
+    "resolve_array_backend",
+    "reset_array_backend",
+    "set_array_backend",
+]
+
+#: Selectable namespace names (``"auto"`` probes cupy, then jax, then numpy).
+ARRAY_APIS = ("auto", "numpy", "cupy", "jax", "array-api-strict")
+
+_ENV_VAR = "REPRO_ARRAY_API"
+
+
+def _identity(arr: np.ndarray) -> np.ndarray:
+    return arr
+
+
+def _dlpack_to_numpy(arr: Any) -> np.ndarray:
+    """Host transfer for standard-conforming namespaces.
+
+    ``np.asarray`` covers namespaces whose arrays expose ``__array__``
+    (jax, array_api_strict); DLpack is the standard's own exchange
+    protocol and covers the rest.
+    """
+    try:
+        return np.asarray(arr)
+    except (TypeError, ValueError, RuntimeError):
+        return np.from_dlpack(arr)
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One resolved array namespace plus its host-transfer functions."""
+
+    name: str
+    xp: Any
+    inplace: bool = False
+    """Whether the kernel may use NumPy in-place semantics (views, fancy
+    assignment) — only true for NumPy itself."""
+
+    requested: str = ""
+    """The name that was asked for (differs from ``name`` on fallback)."""
+
+    fallback_reason: str | None = None
+    """Why the requested namespace was substituted with NumPy, if it was."""
+
+    from_numpy: Callable[[np.ndarray], Any] = field(default=_identity, repr=False)
+    to_numpy: Callable[[Any], np.ndarray] = field(default=_identity, repr=False)
+
+    @property
+    def is_numpy_fast_path(self) -> bool:
+        """Whether the kernel should take the historical in-place path."""
+        return self.name == "numpy" and self.inplace
+
+
+def _numpy_backend(requested: str, reason: str | None = None) -> ArrayBackend:
+    return ArrayBackend(
+        name="numpy",
+        xp=np,
+        inplace=True,
+        requested=requested,
+        fallback_reason=reason,
+    )
+
+
+def _try_cupy(requested: str) -> ArrayBackend | None:
+    try:
+        import cupy  # noqa: PLC0415
+
+        cupy.zeros(1)  # fail now, not mid-batch, when no device is usable
+    except Exception:
+        return None
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        inplace=False,
+        requested=requested,
+        from_numpy=cupy.asarray,
+        to_numpy=cupy.asnumpy,
+    )
+
+
+def _try_jax(requested: str) -> ArrayBackend | None:
+    try:
+        import jax.numpy as jnp  # noqa: PLC0415
+    except Exception:
+        return None
+    return ArrayBackend(
+        name="jax",
+        xp=jnp,
+        inplace=False,
+        requested=requested,
+        from_numpy=jnp.asarray,
+        to_numpy=_dlpack_to_numpy,
+    )
+
+
+def _try_strict(requested: str) -> ArrayBackend | None:
+    try:
+        import array_api_strict  # noqa: PLC0415
+    except Exception:
+        return None
+    return ArrayBackend(
+        name="array-api-strict",
+        xp=array_api_strict,
+        inplace=False,
+        requested=requested,
+        from_numpy=array_api_strict.asarray,
+        to_numpy=_dlpack_to_numpy,
+    )
+
+
+def resolve_array_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve a namespace name into an :class:`ArrayBackend`.
+
+    ``None`` reads ``REPRO_ARRAY_API`` (default ``"numpy"``).  An
+    importable non-NumPy request resolves to that namespace; a failed
+    import falls back to NumPy with the reason recorded.  ``"auto"``
+    probes CuPy, then JAX, then settles on NumPy without recording a
+    fallback (auto means "best available").
+    """
+    if name is None:
+        name = os.environ.get(_ENV_VAR, "").strip() or "numpy"
+    if name not in ARRAY_APIS:
+        raise ValueError(f"array API namespace must be one of {ARRAY_APIS}, got {name!r}")
+    if name == "numpy":
+        return _numpy_backend(name)
+    if name == "auto":
+        backend = _try_cupy(name) or _try_jax(name)
+        return backend if backend is not None else _numpy_backend(name)
+    probe = {"cupy": _try_cupy, "jax": _try_jax, "array-api-strict": _try_strict}[name]
+    backend = probe(name)
+    if backend is not None:
+        return backend
+    return _numpy_backend(name, reason=f"{name!r} is not importable; using numpy")
+
+
+# ----------------------------------------------------------------------
+# Process-wide active backend
+# ----------------------------------------------------------------------
+_active: ArrayBackend | None = None
+_active_lock = Lock()
+
+
+def get_array_backend() -> ArrayBackend:
+    """The process-wide active backend, resolved once from the environment."""
+    global _active
+    backend = _active
+    if backend is not None:
+        return backend
+    with _active_lock:
+        if _active is None:
+            _active = resolve_array_backend()
+        return _active
+
+
+def set_array_backend(backend: str | ArrayBackend) -> ArrayBackend:
+    """Install the active backend explicitly (by name or prebuilt instance)."""
+    global _active
+    resolved = backend if isinstance(backend, ArrayBackend) else resolve_array_backend(backend)
+    with _active_lock:
+        _active = resolved
+    return resolved
+
+
+def reset_array_backend() -> None:
+    """Drop the active backend so the next access re-reads the environment."""
+    global _active
+    with _active_lock:
+        _active = None

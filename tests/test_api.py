@@ -168,7 +168,7 @@ class TestHashing:
         )
         assert (
             RunOptions(shots=1000, seed=7).content_hash()
-            == "1a5611655be85e4402c5b3f706e13a3b23e060ed2a0e5ee7f10d617d2ddfffc2"
+            == "40e89c6218b6ebb128c0a58ab8f86a2db64798c25d44167009c6ae3ca734a64e"
         )
 
     def test_equal_specs_hash_equal(self):

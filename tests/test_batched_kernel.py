@@ -324,7 +324,7 @@ class TestEngineIntegration:
         clifford = Circuit(2, 2).h(0).cx(0, 1).measure(0, 0).measure(1, 1)
         magic = Circuit(2, 2).h(0).t(1).cx(0, 1).measure(0, 0).measure(1, 1)
         router = BackendRouter()
-        assert router.select(Job(circuit=clifford, shots=10, seed=1)).name == "tableau"
+        assert router.select(Job(circuit=clifford, shots=10, seed=1)).name == "stabilizer"
         assert router.select(Job(circuit=magic, shots=10, seed=1)).name == "statevector"
 
     def test_invalid_backend_pins_rejected(self):

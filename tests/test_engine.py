@@ -124,21 +124,23 @@ class TestJobHash:
 
 
 class TestBackendRouter:
-    def test_clifford_swap_test_routes_to_tableau(self):
+    def test_clifford_swap_test_routes_to_stabilizer(self):
         # The destructive two-party SWAP test is pure Clifford: the cheapest
-        # capable backend is the stabilizer tableau.
+        # capable backend is the batched stabilizer kernel.
         job = Job(circuit=destructive_swap_test_circuit(), shots=50, seed=1)
         choice = BackendRouter().select(job)
-        assert choice.name == "tableau"
+        assert choice.name == "stabilizer"
 
-    def test_noise_forces_statevector(self):
+    def test_pauli_noise_stays_on_stabilizer(self):
+        # Pauli/readout noise is frame-representable: the stabilizer kernel
+        # keeps Clifford jobs off the dense statevector path.
         job = Job(
             circuit=destructive_swap_test_circuit(),
             shots=50,
             seed=1,
             noise=NoiseModel.from_base(0.01),
         )
-        assert BackendRouter().select(job).name == "statevector"
+        assert BackendRouter().select(job).name == "stabilizer"
 
     def test_non_clifford_routes_to_statevector(self):
         circuit = Circuit(1, 1).t(0).measure(0, 0)
@@ -219,11 +221,11 @@ class TestDeterminism:
         assert routed.stderr_re == direct.stderr_re
         assert routed.stderr_im == direct.stderr_im
 
-    def test_tableau_sampling_statistics(self):
+    def test_stabilizer_sampling_statistics(self):
         job = Job(circuit=ghz_sampling_circuit(3), shots=2000, seed=3, readout=(0, 1))
         with Engine() as engine:
             result = engine.run(job)
-        assert result.backend == "tableau"
+        assert result.backend == "stabilizer"
         # GHZ readout: only all-zeros and all-ones strings occur.
         assert set(result.counts) == {"000", "111"}
         # Qubits 0 and 1 are perfectly correlated: parity always +1.
