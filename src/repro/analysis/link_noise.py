@@ -26,6 +26,7 @@ from collections.abc import Iterable, Sequence
 
 from ..core.compas import build_compas
 from ..core.naive import build_naive_distribution
+from ..core.protocol import FAMILY, family_builds
 from ..network.bell import BellEvent
 from ..network.topology import Topology
 
@@ -33,6 +34,7 @@ __all__ = [
     "event_fidelity_floor",
     "protocol_fidelity_bound",
     "scheme_fidelity_bound",
+    "protocol_comparison",
     "advantage_curve",
     "crossover_link_rate",
 ]
@@ -84,6 +86,48 @@ def scheme_fidelity_bound(
     return protocol_fidelity_bound(build.program.ledger.events, network)
 
 
+def _family_events(member: str, n: int, k: int, topology: Topology | None) -> list[BellEvent]:
+    """Aggregate Bell events of one family member (all campaign circuits)."""
+    events: list[BellEvent] = []
+    for build in family_builds(member, k, n, basis="x", topology=topology):
+        events.extend(build.program.ledger.events)
+    return events
+
+
+def protocol_comparison(
+    n: int,
+    k: int,
+    network,
+    topology: Topology | None = None,
+    schemes: Sequence[str] | None = None,
+) -> list[dict]:
+    """Rank every protocol-family member's fidelity bound on one network.
+
+    Builds each member of ``schemes`` (default: the whole :data:`FAMILY`)
+    on ``topology`` (or its default line) and multiplies the Appendix-B
+    floor of every recorded Bell event — the multi-state campaign's
+    ``C(k, 2)`` circuits aggregate, matching its sequential execution.
+    Rows come back sorted best-bound-first, each carrying the logical and
+    hop-weighted physical pair counts behind the bound.
+    """
+    members = tuple(schemes) if schemes is not None else FAMILY
+    rows = []
+    for member in members:
+        events = _family_events(member, n, k, topology)
+        rows.append(
+            {
+                "scheme": member,
+                "bound": protocol_fidelity_bound(events, network),
+                "logical_pairs": len(events),
+                "physical_pairs": sum(e.hops for e in events),
+            }
+        )
+    rows.sort(key=lambda row: row["bound"], reverse=True)
+    for rank, row in enumerate(rows, start=1):
+        row["rank"] = rank
+    return rows
+
+
 def advantage_curve(
     n: int,
     k: int,
@@ -125,17 +169,74 @@ def crossover_link_rate(
     design: str = "teledata",
     topology: Topology | None = None,
     grid: Sequence[float] | None = None,
-) -> float | None:
-    """Smallest swept ``p_link`` where COMPAS's bound falls below naive's.
+    *,
+    schemes: Sequence[str] | None = None,
+    topologies: Sequence[str] | None = None,
+    network=None,
+) -> float | None | dict[str, list[dict]]:
+    """Crossover analysis: where each scheme's bound falls below naive's.
 
-    Returns ``None`` when COMPAS keeps its advantage over the whole grid
-    (default: 200 points up to 0.5).  The crossover exists because naive's
-    few long-range events saturate with hop count while COMPAS's many
-    short-range events keep compounding.
+    Two modes share the swept ``grid`` (default: 200 points up to 0.5):
+
+    * **legacy scalar** (``schemes=None``): the smallest swept ``p_link``
+      where the COMPAS ``design``'s bound falls below naive's on the
+      default line — ``None`` when COMPAS keeps its advantage over the
+      whole grid.  The crossover exists because naive's few long-range
+      events saturate with hop count while COMPAS's many short-range
+      events keep compounding.
+    * **family ranking** (``schemes`` given, e.g. :data:`FAMILY`): one
+      entry per topology name in ``topologies`` (default: every named
+      topology), each a best-bound-first ranking of the schemes at the
+      reference ``network`` (default: 2% link depolarizing) in the shape
+      of :func:`protocol_comparison` rows, plus ``crossover_vs_naive`` —
+      the first swept ``p_link`` where that scheme's bound drops below
+      the naive redistribution's on the same topology (``None`` if it
+      never does).
     """
     if grid is None:
         grid = [i / 400.0 for i in range(1, 201)]
-    for row in advantage_curve(n, k, grid, design=design, topology=topology):
-        if row["advantage"] < 1.0:
-            return row["p_link"]
-    return None
+    if schemes is None:
+        for row in advantage_curve(n, k, grid, design=design, topology=topology):
+            if row["advantage"] < 1.0:
+                return row["p_link"]
+        return None
+
+    from ..api.specs import TOPOLOGIES, NetworkSpec
+
+    if network is None:
+        network = NetworkSpec(link_depolarizing=0.02)
+    members = tuple(schemes)
+    names = tuple(topologies) if topologies is not None else tuple(TOPOLOGIES)
+    qpus = [f"qpu{p}" for p in range(k)]
+    comparison: dict[str, list[dict]] = {}
+    for name in names:
+        if name not in TOPOLOGIES:
+            raise ValueError(f"topology must be one of {tuple(TOPOLOGIES)}, got {name!r}")
+        topo = TOPOLOGIES[name](qpus)
+        events = {member: _family_events(member, n, k, topo) for member in members}
+        naive_events = (
+            events["naive"] if "naive" in events else _family_events("naive", n, k, topo)
+        )
+        rows = []
+        for member in members:
+            crossover = None
+            for p_link in grid:
+                probe = NetworkSpec(link_depolarizing=float(p_link))
+                member_bound = protocol_fidelity_bound(events[member], probe)
+                if member_bound < protocol_fidelity_bound(naive_events, probe):
+                    crossover = float(p_link)
+                    break
+            rows.append(
+                {
+                    "scheme": member,
+                    "bound": protocol_fidelity_bound(events[member], network),
+                    "logical_pairs": len(events[member]),
+                    "physical_pairs": sum(e.hops for e in events[member]),
+                    "crossover_vs_naive": crossover,
+                }
+            )
+        rows.sort(key=lambda row: row["bound"], reverse=True)
+        for rank, row in enumerate(rows, start=1):
+            row["rank"] = rank
+        comparison[name] = rows
+    return comparison

@@ -38,6 +38,10 @@ from ..core.estimator import (
     exact_swap_test_expectation,
     swap_test_job,
 )
+from ..core.multistate_swap import build_multistate_swap
+from ..core.nparty_hadamard import build_nparty_hadamard
+from ..core.nstate_swap import build_nstate_swap
+from ..core.protocol import protocol_job
 from ..core.swap_test import build_monolithic_swap_test
 from ..core.trace_sum import TraceSumResult, exact_trace_sum
 from ..engine import Engine
@@ -107,7 +111,8 @@ def run_multiparty_swap_test(
         if network is not None and not network.is_ideal:
             raise ValueError(
                 "a physical network (nonzero link noise or QPU overrides) requires "
-                "backend='compas'; the monolithic builder has no links to degrade"
+                "a distributed backend; the monolithic builder has no links to "
+                "degrade"
             )
         build_x = build_monolithic_swap_test(
             k, n, variant=variant, basis="x", ghz_mode=ghz_mode, observable=observable
@@ -220,6 +225,171 @@ def _run_swap_test(experiment, options, engine):
         **_swap_kwargs(experiment),
     )
     return result.estimate, result.stderr_re, _trace_extra(result), result
+
+
+# ----------------------------------------------------------------------
+# Protocol-family runners: the three estimators that always lower
+# through the QPU-tagged distributed IR (backend="distributed")
+# ----------------------------------------------------------------------
+def _family_states(experiment):
+    """States, party count, and qubit width of a protocol-family payload."""
+    states = [np.asarray(s, dtype=complex) for s in experiment.payload["states"]]
+    k = len(states)
+    n = int(math.log2(states[0].shape[0]))
+    return states, k, n
+
+
+def _family_network(experiment, k):
+    """Topology and composed noise model from the experiment's network.
+
+    Unlike the ``backend="compas"`` path (where the network is optional),
+    family kinds are *always* physical: the spec's topology is built over
+    ``qpu0 .. qpu{k-1}`` and its hop-weighted link noise and per-QPU
+    overrides compose into the job noise model, so Bell budgets and link
+    faults apply identically to every family member.
+    """
+    network = experiment.network
+    network.validate()
+    topology = network.build([f"qpu{p}" for p in range(k)])
+    noise = network.noise_model(experiment.noise.to_model())
+    return network, topology, noise
+
+
+def _family_engine_resources(resources, network, build, jobs, results, seed) -> None:
+    """Fill the seed/engine/compiled keys shared by every family runner."""
+    resources["lowered"] = build.lowered(bell_latency=network.bell_latency).summary()
+    resources["network"] = asdict(network)
+    resources["seed"] = seed
+    resources["engine"] = {
+        "backend": results[0].backend,
+        "batches": sum(r.num_batches for r in results),
+        "from_cache": all(r.from_cache for r in results),
+        "compile_time": sum(r.compile_time for r in results),
+        "execute_time": sum(r.execute_time for r in results),
+    }
+    resources["compiled"] = jobs[0].metadata.get("compiled")
+
+
+def _run_multistate_swap(experiment, options, engine):
+    """Pairwise-overlap Gram campaign (arXiv:2205.07171).
+
+    One single-ancilla circuit per unordered state pair; each X-basis
+    parity mean is tr(rho_i rho_j) (real, so no Y circuits are needed).
+    The scalar estimate is the mean off-diagonal overlap; the full Gram
+    matrix rides along in ``extra["gram"]``.
+    """
+    states, k, n = _family_states(experiment)
+    network, topology, noise = _family_network(experiment, k)
+    rng = np.random.default_rng(options.seed)
+    pairs = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    per_pair = max(options.shots // len(pairs), 1)
+    builds = [
+        build_multistate_swap(k, n, pair=pair, basis="x", topology=topology)
+        for pair in pairs
+    ]
+    jobs = [
+        protocol_job(
+            build,
+            states,
+            per_pair,
+            int(rng.integers(2**63)),
+            noise=noise,
+            batch_size=options.batch_size,
+        )
+        for build in builds
+    ]
+    results = engine.run_many(jobs)
+    gram = np.eye(k)
+    pair_stderrs = []
+    for (i, j), res in zip(pairs, results):
+        gram[i, j] = gram[j, i] = res.parity_mean
+        pair_stderrs.append(res.parity_stderr)
+    estimate = complex(float(np.mean([gram[i, j] for i, j in pairs])), 0.0)
+    stderr_re = float(np.sqrt(sum(s**2 for s in pair_stderrs)) / len(pairs))
+
+    resources = {"backend": "distributed", **builds[0].resources()}
+    resources["circuits"] = len(builds)
+    resources["shots_per_pair"] = per_pair
+    lowered = [b.lowered(bell_latency=network.bell_latency) for b in builds]
+    summaries = [lo.summary() for lo in lowered]
+    resources["campaign"] = {
+        "logical_bells": sum(s["logical_bells"] for s in summaries),
+        "physical_bells": sum(s["physical_bells"] for s in summaries),
+        "latency": sum(s["latency"] for s in summaries),
+    }
+    _family_engine_resources(resources, network, builds[0], jobs, results, options.seed)
+
+    raw = MultivariateTraceResult(
+        estimate=estimate,
+        stderr_re=stderr_re,
+        stderr_im=0.0,
+        shots_re=per_pair * len(pairs),
+        shots_im=0,
+        k=k,
+        n=n,
+        variant="multistate",
+        resources=resources,
+    )
+    extra = _trace_extra(raw)
+    extra["gram"] = [[float(x) for x in row] for row in gram]
+    extra["pairs"] = [list(p) for p in pairs]
+    extra["pair_stderrs"] = [float(s) for s in pair_stderrs]
+    return raw.estimate, raw.stderr_re, extra, raw
+
+
+def _run_distributed_two_basis(experiment, options, engine, builder, label):
+    """Shared X/Y-basis pipeline for the nstate and nparty estimators.
+
+    The mirror of :func:`run_multiparty_swap_test`'s compas branch: two
+    content-hashed jobs (Re and Im circuits) with seeds chained from
+    ``default_rng(options.seed)``, run through the unmodified engine.
+    """
+    states, k, n = _family_states(experiment)
+    network, topology, noise = _family_network(experiment, k)
+    design = experiment.protocol.design
+    rng = np.random.default_rng(options.seed)
+    shots_re = options.shots // 2
+    shots_im = options.shots - shots_re
+    build_x = builder(k, n, design=design, basis="x", topology=topology)
+    build_y = builder(k, n, design=design, basis="y", topology=topology)
+    jobs = [
+        protocol_job(
+            build,
+            states,
+            basis_shots,
+            int(rng.integers(2**63)),
+            noise=noise,
+            batch_size=options.batch_size,
+        )
+        for build, basis_shots in ((build_x, shots_re), (build_y, shots_im))
+    ]
+    results = engine.run_many(jobs)
+    resources = {"backend": "distributed", **build_x.resources()}
+    _family_engine_resources(resources, network, build_x, jobs, results, options.seed)
+    raw = MultivariateTraceResult(
+        estimate=complex(results[0].parity_mean, results[1].parity_mean),
+        stderr_re=results[0].parity_stderr,
+        stderr_im=results[1].parity_stderr,
+        shots_re=shots_re,
+        shots_im=shots_im,
+        k=k,
+        n=n,
+        variant=label,
+        resources=resources,
+    )
+    return raw.estimate, raw.stderr_re, _trace_extra(raw), raw
+
+
+def _run_nstate_swap(experiment, options, engine):
+    return _run_distributed_two_basis(
+        experiment, options, engine, build_nstate_swap, "nstate"
+    )
+
+
+def _run_nparty_hadamard(experiment, options, engine):
+    return _run_distributed_two_basis(
+        experiment, options, engine, build_nparty_hadamard, "nparty"
+    )
 
 
 def _run_trace_sum(experiment, options, engine):
@@ -524,6 +694,9 @@ def _run_overall_fidelity(experiment, options, engine):
 
 _RUNNERS = {
     "swap_test": _run_swap_test,
+    "multistate_swap": _run_multistate_swap,
+    "nstate_swap": _run_nstate_swap,
+    "nparty_hadamard": _run_nparty_hadamard,
     "trace_sum": _run_trace_sum,
     "renyi": _run_renyi,
     "spectroscopy": _run_spectroscopy,
@@ -543,6 +716,25 @@ def _exact_swap_test(experiment):
     observable = experiment.protocol.observable
     if observable is not None:
         product = Pauli.from_label(observable).to_matrix() @ product
+    return complex(np.trace(product)), {}, None
+
+
+def _exact_multistate(experiment):
+    """Exact Gram matrix of pairwise overlaps and its mean off-diagonal."""
+    states = [_as_matrix(s) for s in experiment.payload["states"]]
+    k = len(states)
+    gram = np.eye(k)
+    for i in range(k):
+        for j in range(i + 1, k):
+            gram[i, j] = gram[j, i] = float(np.real(np.trace(states[i] @ states[j])))
+    pairs = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    mean = float(np.mean([gram[i, j] for i, j in pairs]))
+    return complex(mean, 0.0), {"gram": [[float(x) for x in row] for row in gram]}, None
+
+
+def _exact_multivariate_trace(experiment):
+    """Exact tr(rho_1 ... rho_k) for the nstate and nparty estimators."""
+    product = reduce(np.matmul, [_as_matrix(s) for s in experiment.payload["states"]])
     return complex(np.trace(product)), {}, None
 
 
@@ -596,6 +788,9 @@ def _exact_ghz_fidelity(experiment):
 
 _EXACTS = {
     "swap_test": _exact_swap_test,
+    "multistate_swap": _exact_multistate,
+    "nstate_swap": _exact_multivariate_trace,
+    "nparty_hadamard": _exact_multivariate_trace,
     "trace_sum": _exact_trace_sum,
     "renyi": _exact_renyi,
     "spectroscopy": _exact_spectroscopy,

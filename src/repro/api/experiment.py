@@ -39,6 +39,9 @@ __all__ = ["Experiment", "KINDS"]
 
 KINDS = (
     "swap_test",
+    "multistate_swap",
+    "nstate_swap",
+    "nparty_hadamard",
     "trace_sum",
     "renyi",
     "spectroscopy",
@@ -48,6 +51,9 @@ KINDS = (
     "fanout_errors",
     "overall_fidelity",
 )
+
+#: Kinds that always lower through the distributed IR (protocol family).
+_DISTRIBUTED_KINDS = frozenset({"multistate_swap", "nstate_swap", "nparty_hadamard"})
 
 _PAULI_LETTERS = frozenset("IXYZ")
 
@@ -99,11 +105,14 @@ class Experiment:
         self.protocol.validate()
         self.noise.validate()
         self.network.validate()
-        if not self.network.is_ideal and self.protocol.backend != "compas":
+        if not self.network.is_ideal and self.protocol.backend not in (
+            "compas",
+            "distributed",
+        ):
             raise ValueError(
                 "a physical network (nonzero link noise or QPU overrides) requires "
-                f"backend='compas'; backend={self.protocol.backend!r} would silently "
-                "ignore it"
+                "a distributed backend ('compas' or 'distributed'); "
+                f"backend={self.protocol.backend!r} would silently ignore it"
             )
         self.options.validate()
         _PAYLOAD_VALIDATORS[self.kind](self)
@@ -328,6 +337,123 @@ class Experiment:
         )
         experiment.validate()
         return experiment
+
+    @classmethod
+    def _protocol_family(
+        cls,
+        kind: str,
+        states,
+        *,
+        shots: int,
+        seed: int | None,
+        design: str,
+        noise,
+        topology: str,
+        network: NetworkSpec | None,
+        workers: int,
+        cache: bool | str,
+    ) -> "Experiment":
+        """Shared constructor body of the distributed protocol-family kinds."""
+        states = _as_states(states)
+        experiment = cls(
+            kind=kind,
+            payload={"states": states},
+            protocol=ProtocolSpec(k=len(states), backend="distributed", design=design),
+            noise=_as_noise(noise),
+            network=network if network is not None else NetworkSpec(topology=topology),
+            options=RunOptions(shots=shots, seed=seed, workers=workers, cache=cache),
+        )
+        experiment.validate()
+        return experiment
+
+    @classmethod
+    def multistate_swap(
+        cls,
+        states,
+        *,
+        shots: int = 20_000,
+        seed: int | None = None,
+        design: str = "teledata",
+        noise=None,
+        topology: str = "line",
+        network: NetworkSpec | None = None,
+        workers: int = 1,
+        cache: bool | str = False,
+    ) -> "Experiment":
+        """Pairwise-overlap Gram matrix of ``states`` (arXiv:2205.07171).
+
+        One distributed two-state SWAP test per unordered pair; the
+        estimate is the mean off-diagonal overlap and the full Gram
+        matrix lands in ``result.extra["gram"]``.
+        """
+        return cls._protocol_family(
+            "multistate_swap",
+            states,
+            shots=shots,
+            seed=seed,
+            design=design,
+            noise=noise,
+            topology=topology,
+            network=network,
+            workers=workers,
+            cache=cache,
+        )
+
+    @classmethod
+    def nstate_swap(
+        cls,
+        states,
+        *,
+        shots: int = 20_000,
+        seed: int | None = None,
+        design: str = "teledata",
+        noise=None,
+        topology: str = "line",
+        network: NetworkSpec | None = None,
+        workers: int = 1,
+        cache: bool | str = False,
+    ) -> "Experiment":
+        """Single-ancilla N-state test of tr(rho_1 ... rho_k) (arXiv:2110.13261)."""
+        return cls._protocol_family(
+            "nstate_swap",
+            states,
+            shots=shots,
+            seed=seed,
+            design=design,
+            noise=noise,
+            topology=topology,
+            network=network,
+            workers=workers,
+            cache=cache,
+        )
+
+    @classmethod
+    def nparty_hadamard(
+        cls,
+        states,
+        *,
+        shots: int = 20_000,
+        seed: int | None = None,
+        design: str = "teledata",
+        noise=None,
+        topology: str = "line",
+        network: NetworkSpec | None = None,
+        workers: int = 1,
+        cache: bool | str = False,
+    ) -> "Experiment":
+        """N-Party Hadamard Test of tr(rho_1 ... rho_k) (arXiv:2411.10024)."""
+        return cls._protocol_family(
+            "nparty_hadamard",
+            states,
+            shots=shots,
+            seed=seed,
+            design=design,
+            noise=noise,
+            topology=topology,
+            network=network,
+            workers=workers,
+            cache=cache,
+        )
 
     @classmethod
     def trace_sum(
@@ -578,6 +704,24 @@ def _validate_swap_test(experiment) -> None:
         raise ValueError("need at least two shots (one per readout basis)")
 
 
+def _validate_protocol_family(experiment) -> None:
+    _check_state_widths(experiment.payload["states"])
+    if experiment.protocol.backend != "distributed":
+        raise ValueError(
+            f"kind {experiment.kind!r} always lowers through the distributed IR; "
+            "set protocol.backend='distributed'"
+        )
+    if experiment.kind == "multistate_swap":
+        k = len(experiment.payload["states"])
+        pairs = k * (k - 1) // 2
+        if experiment.options.shots < 2 * pairs:
+            raise ValueError(
+                f"need at least {2 * pairs} shots (two per state pair)"
+            )
+    elif experiment.options.shots < 2:
+        raise ValueError("need at least two shots (one per readout basis)")
+
+
 def _validate_trace_sum(experiment) -> None:
     groups = experiment.payload["groups"]
     weights = experiment.payload["weights"]
@@ -641,6 +785,9 @@ def _validate_overall_fidelity(experiment) -> None:
 
 _PAYLOAD_VALIDATORS = {
     "swap_test": _validate_swap_test,
+    "multistate_swap": _validate_protocol_family,
+    "nstate_swap": _validate_protocol_family,
+    "nparty_hadamard": _validate_protocol_family,
     "trace_sum": _validate_trace_sum,
     "renyi": _validate_renyi,
     "spectroscopy": _validate_spectroscopy,

@@ -62,7 +62,7 @@ __all__ = [
     "stable_hash",
 ]
 
-BACKENDS = ("monolithic", "compas")
+BACKENDS = ("monolithic", "compas", "distributed")
 GHZ_MODES = ("linear", "fused")
 EXECUTORS = ("auto", "serial", "thread", "process")
 TOPOLOGIES = {

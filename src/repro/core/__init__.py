@@ -22,6 +22,10 @@ from .estimator import (
     swap_test_job,
 )
 from .ghz import GhzPlan, distributed_ghz, local_ghz_constant_depth, local_ghz_linear
+from .multistate_swap import MultistateSwapBuild, build_multistate_swap
+from .nparty_hadamard import NPartyHadamardBuild, build_nparty_hadamard
+from .nstate_swap import NStateSwapBuild, build_nstate_swap
+from .protocol import FAMILY, ProtocolBuild, family_builds, protocol_job
 from .swap_test import VARIANTS, SwapTestBuild, build_monolithic_swap_test
 from .trace_sum import TraceSumResult, estimate_trace_sum, exact_trace_sum
 
@@ -52,6 +56,16 @@ __all__ = [
     "distributed_ghz",
     "local_ghz_constant_depth",
     "local_ghz_linear",
+    "MultistateSwapBuild",
+    "build_multistate_swap",
+    "NPartyHadamardBuild",
+    "build_nparty_hadamard",
+    "NStateSwapBuild",
+    "build_nstate_swap",
+    "FAMILY",
+    "ProtocolBuild",
+    "family_builds",
+    "protocol_job",
     "VARIANTS",
     "SwapTestBuild",
     "build_monolithic_swap_test",

@@ -33,12 +33,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..engine import Engine, Ensemble, Job
-from ..sim.compile import get_capabilities
+from ..engine import Engine, Job
 from ..sim.noisemodel import NoiseModel
 from ..sim.statevector import StatevectorSimulator, apply_gate
 from ..utils.linalg import kron_all
 from ..utils.states import assemble_initial_state
+from .protocol import ProtocolBuild, _eigen_ensembles, protocol_job
 from .swap_test import SwapTestBuild, build_monolithic_swap_test
 
 __all__ = [
@@ -119,27 +119,8 @@ def sample_pure_inputs(
     return out
 
 
-def _eigen_ensembles(
-    states: Sequence[np.ndarray],
-) -> list[list[tuple[float, np.ndarray]]]:
-    ensembles = []
-    for rho in states:
-        rho = np.asarray(rho, dtype=complex)
-        if rho.ndim == 1:
-            ensembles.append([(1.0, rho)])
-            continue
-        weights, vectors = np.linalg.eigh(rho)
-        ensemble = [
-            (float(w), vectors[:, i])
-            for i, w in enumerate(np.real(weights))
-            if w > 1e-12
-        ]
-        ensembles.append(ensemble)
-    return ensembles
-
-
 def swap_test_job(
-    build: SwapTestBuild,
+    build: ProtocolBuild,
     states: Sequence[np.ndarray],
     shots: int,
     seed: int,
@@ -149,46 +130,19 @@ def swap_test_job(
 ) -> Job:
     """Package a built (readout-carrying) SWAP test as an engine job.
 
-    Each input state becomes a per-shot :class:`~repro.engine.Ensemble` over
-    its eigen-decomposition (pure states degenerate to a single component),
-    loaded into the position register the build assigned to it.  The
-    circuit's capability flags (a cached scan — full compilation is left to
-    the executing worker so the engine's compile-time accounting stays
-    honest) are recorded in the job metadata.  ``backend`` optionally pins
-    a simulator (e.g. ``"statevector-ref"`` for the per-shot reference
-    path).
+    A thin alias over :func:`repro.core.protocol.protocol_job`, kept under
+    its historical name: any :class:`~repro.core.protocol.ProtocolBuild`
+    (monolithic, COMPAS, or the newer family members) packages the same
+    way.
     """
-    if build.basis is None:
-        raise ValueError("build must include a readout basis")
-    ensembles = []
-    for position in range(build.k):
-        state = states[build.user_of_position[position]]
-        pairs = _eigen_ensembles([state])[0]
-        ensembles.append(
-            Ensemble.from_states(build.position_registers[position], pairs)
-        )
-    circuit = build.circuit()
-    capabilities = get_capabilities(circuit)
-    return Job(
-        circuit=circuit,
-        shots=shots,
-        seed=seed,
+    return protocol_job(
+        build,
+        states,
+        shots,
+        seed,
         noise=noise,
-        ensembles=tuple(ensembles),
-        readout=build.readout_clbits,
         batch_size=batch_size,
         backend=backend,
-        metadata={
-            "variant": build.variant,
-            "k": build.k,
-            "n": build.n,
-            "compiled": {
-                "instructions": len(circuit.instructions),
-                "num_measurements": capabilities.num_measurements,
-                "is_clifford": capabilities.is_clifford,
-                "is_frame_compatible": capabilities.is_frame_compatible,
-            },
-        },
     )
 
 

@@ -1,0 +1,132 @@
+"""Multi-state Swap Test: the pairwise-overlap Gram-matrix estimator.
+
+Following arXiv:2205.07171, the k-state overlap problem is decomposed into
+C(k, 2) ordinary two-state SWAP tests, one per unordered pair (i, j): each
+circuit estimates tr(rho_i rho_j) = |<psi_i|psi_j>|^2 from the X-parity of
+a single ancilla.  The estimator assembles the results into the Gram
+matrix of all pairwise overlaps — strictly more information than the
+single multivariate trace tr(rho_1 ... rho_k), at the cost of k(k-1)/2
+circuits instead of one.
+
+Distributed placement: every user state keeps its home QPU (so topology
+hop-weighting applies exactly as for COMPAS); for the pair (i, j) the
+circuit teleports state j's register to QPU i (n Bell pairs, teledata
+floors) and runs the textbook ancilla SWAP test locally.  Pairs that are
+far apart on the topology therefore pay hop-weighted physical Bell pairs,
+which is this member's distinguishing noise profile: few, long-range,
+teleport-floor events versus COMPAS's many short-range cat-floor events.
+
+The pairwise overlap is real, so only the X basis exists; ``basis=None``
+builds the measurement-free circuit for exact cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.program import DistributedProgram
+from ..network.topology import Topology, line_topology
+from ..teleport.teledata import teleport_qubit
+from .protocol import ProtocolBuild
+
+__all__ = ["MultistateSwapBuild", "build_multistate_swap"]
+
+
+@dataclass
+class MultistateSwapBuild(ProtocolBuild):
+    """One pairwise SWAP-test circuit of the Gram-matrix campaign."""
+
+    pair: tuple[int, int] = (0, 1)
+
+    def circuit_name(self) -> str:
+        return f"multistate_swap_{self.pair[0]}_{self.pair[1]}"
+
+
+def build_multistate_swap(
+    k: int,
+    n: int,
+    pair: tuple[int, int] = (0, 1),
+    basis: str | None = "x",
+    topology: Topology | None = None,
+) -> MultistateSwapBuild:
+    """Build the distributed pairwise SWAP test for states ``pair`` of ``k``.
+
+    All ``k`` home registers are allocated on their QPUs (``qpu0 ..
+    qpu{k-1}``) so hop distances match the other family members; only the
+    two states of ``pair`` are loaded and tested.  ``basis`` is ``"x"``
+    (the overlap is real) or ``None`` for the measurement-free circuit.
+    """
+    if k < 2:
+        raise ValueError("need at least two parties")
+    if n < 1:
+        raise ValueError("states need at least one qubit")
+    i, j = pair
+    if not (0 <= i < k and 0 <= j < k) or i == j:
+        raise ValueError(f"pair must name two distinct states in range({k})")
+    if basis not in (None, "x"):
+        raise ValueError("pairwise overlaps are real: basis must be 'x' or None")
+
+    qpu_names = [f"qpu{p}" for p in range(k)]
+    if topology is None:
+        topology = line_topology(qpu_names)
+    elif set(topology.nodes) != set(qpu_names):
+        raise ValueError(
+            f"topology must connect QPUs {qpu_names}, got {sorted(topology.nodes)}"
+        )
+    program = DistributedProgram(topology)
+
+    registers = tuple(
+        tuple(program.alloc(qpu_names[p], "state", n)) for p in range(k)
+    )
+    (ancilla,) = program.alloc(qpu_names[i], "control", 1)
+    bell_local = program.alloc(qpu_names[j], "tp_l", n)
+    dest = program.alloc(qpu_names[i], "tp_r", n)
+
+    stage_depths: dict[str, int] = {}
+    mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 1: teleport state j's register next to state i (n Bell pairs).
+    # ------------------------------------------------------------------
+    for l in range(n):
+        program.create_bell_pair(bell_local[l], dest[l], purpose="teledata-in")
+        teleport_qubit(
+            program,
+            source=registers[j][l],
+            bell_local=bell_local[l],
+            bell_remote=dest[l],
+        )
+    stage_depths["redistribute"] = program.build_range(mark, program.cursor()).depth()
+    mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 2: the local two-state SWAP test on QPU i.
+    # ------------------------------------------------------------------
+    program.h(ancilla)
+    for l in range(n):
+        program.cswap(ancilla, registers[i][l], dest[l])
+    stage_depths["cswap"] = program.build_range(mark, program.cursor()).depth()
+    mark = program.cursor()
+
+    # ------------------------------------------------------------------
+    # Stage 3: X-basis readout of the ancilla.
+    # ------------------------------------------------------------------
+    readout: list[int] = []
+    if basis is not None:
+        program.h(ancilla)
+        readout = [program.measure(ancilla)]
+        stage_depths["readout"] = program.build_range(mark, program.cursor()).depth()
+
+    return MultistateSwapBuild(
+        program=program,
+        k=k,
+        n=n,
+        variant="multistate",
+        ghz_qubits=(ancilla,),
+        position_registers=(registers[i], registers[j]),
+        user_of_position=(i, j),
+        basis=basis,
+        readout_clbits=tuple(readout),
+        stage_depths=stage_depths,
+        pair=(i, j),
+    )

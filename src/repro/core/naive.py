@@ -17,47 +17,37 @@ no such restriction, which is part of its advantage.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 import numpy as np
 
-from ..network.lowering import LoweredProgram, lower_program
-from ..network.program import DistributedProgram
 from ..network.topology import Topology, line_topology
+from ..network.program import DistributedProgram
 from ..teleport.teledata import teleport_qubit
 from .cyclic_shift import interleaved_arrangement, round_position_pairs, slot_assignment
 from .ghz import local_ghz_linear
+from .protocol import ProtocolBuild
 
 __all__ = ["NaiveBuild", "build_naive_distribution", "naive_slice_estimate"]
 
 
 @dataclass
-class NaiveBuild:
-    """Constructed naive-distribution protocol for one readout basis."""
+class NaiveBuild(ProtocolBuild):
+    """Constructed naive-distribution protocol for one readout basis.
 
-    program: DistributedProgram
-    k: int
-    n: int
-    basis: str | None
-    slice_owner: tuple[int, ...]
-    slice_registers: tuple[tuple[int, ...], ...]
-    slice_readout: tuple[tuple[int, ...], ...]
-    user_of_position: tuple[int, ...]
-    stage_depths: dict[str, int] = field(default_factory=dict)
+    The slice-wise estimator reads each slice's GHZ parity separately
+    (``slice_readout``), so the flattened ``readout_clbits`` is metadata
+    only — a single joint parity over all slices is *not* this scheme's
+    estimator (see :func:`naive_slice_estimate`).
+    """
 
-    def circuit(self):
-        """The flat circuit."""
-        return self.program.build(name="naive_distribution")
+    slice_owner: tuple[int, ...] = ()
+    slice_registers: tuple[tuple[int, ...], ...] = ()
+    slice_readout: tuple[tuple[int, ...], ...] = ()
 
-    def lowered(self, bell_latency: float = 1.0) -> LoweredProgram:
-        """The scheduled, QPU-attributed lowering (measured accounting)."""
-        return lower_program(self.program, bell_latency=bell_latency)
-
-    @property
-    def total_qubits(self) -> int:
-        """All qubits across the machine."""
-        return self.program.machine.num_qubits
+    def circuit_name(self) -> str:
+        return "naive_distribution"
 
 
 def build_naive_distribution(
@@ -150,7 +140,10 @@ def build_naive_distribution(
         program=program,
         k=k,
         n=n,
+        variant="naive",
         basis=basis,
+        position_registers=tuple(tuple(r) for r in home_registers),
+        readout_clbits=tuple(c for clbits in slice_readout for c in clbits),
         slice_owner=slice_owner,
         slice_registers=tuple(slice_registers),
         slice_readout=tuple(slice_readout),

@@ -1,16 +1,18 @@
-"""The COMPAS protocol: a fully distributed multi-party SWAP test (Sec 3).
+"""N-Party Hadamard Test: one GHZ member per party (arXiv:2411.10024).
 
-One QPU per state, arranged on a line in the interleaved order
-``1, k, 2, k-1, ...`` so that both CSWAP rounds touch only nearest
-neighbours (Fig 5).  Even-position QPUs host the ceil(k/2) GHZ control
-qubits, prepared in constant depth by :func:`~repro.core.ghz.distributed_ghz`
-(Fig 4).  Each controlled transposition runs the two-party CSWAP of the
-chosen design (telegate / teledata), and the GHZ register is finally read
-out in the X or Y basis.
+The opposite end of the GHZ-width family from the single-ancilla test:
+instead of COMPAS's ceil(k/2) controllers, *every* QPU hosts a GHZ member
+(width r = k, prepared by the same constant-depth distributed fusion of
+Fig 4 — k-1 Bell pairs instead of ceil(k/2)-1).  Each controlled
+transposition is driven by the GHZ member co-located with its Alice QPU,
+so the control is always local and no extra control-distribution Bell
+pairs are needed; the X^(x)k / Y X^(x)(k-1) parity of all k members
+estimates Re / Im tr(rho_1 ... rho_k), exactly as in Sec 2.3 (the parity
+identity holds for any GHZ width).
 
-The build exposes the same duck-typed surface as the monolithic
-:class:`~repro.core.swap_test.SwapTestBuild`, so the shot estimator in
-:mod:`repro.core.estimator` drives both interchangeably.
+Cost profile versus COMPAS: roughly double the GHZ fusion links (all at
+the cat 1 - 3r/4 floor) and a k-wide readout whose parity degrades with
+every member's measurement, traded for a control that never has to move.
 """
 
 from __future__ import annotations
@@ -24,42 +26,38 @@ from .cyclic_shift import interleaved_arrangement, round_position_pairs, slot_as
 from .ghz import distributed_ghz
 from .protocol import ProtocolBuild
 
-__all__ = ["CompasBuild", "build_compas"]
+__all__ = ["NPartyHadamardBuild", "build_nparty_hadamard"]
 
 
 @dataclass
-class CompasBuild(ProtocolBuild):
-    """A constructed COMPAS protocol instance."""
+class NPartyHadamardBuild(ProtocolBuild):
+    """A constructed N-Party Hadamard Test instance."""
 
     design: str = "teledata"
     bell_pairs_cswaps: int = 0
-    variant: str = "compas"
 
     def circuit_name(self) -> str:
-        return f"compas_{self.design}"
+        return f"nparty_hadamard_{self.design}"
 
     def resources(self) -> dict:
-        """Resource summary: Bell pairs, qubits, depth per stage."""
         resources = super().resources()
-        del resources["variant"]
         resources["design"] = self.design
         resources["bell_pairs_cswaps"] = self.bell_pairs_cswaps
         return resources
 
 
-def build_compas(
+def build_nparty_hadamard(
     k: int,
     n: int,
     design: str = "teledata",
     basis: str | None = None,
     topology: Topology | None = None,
     reset_ancillas: bool = True,
-    observable: str | None = None,
-) -> CompasBuild:
-    """Build the distributed k-party SWAP test over n-qubit states.
+) -> NPartyHadamardBuild:
+    """Build the k-member distributed Hadamard test over n-qubit states.
 
-    ``topology`` defaults to a line over QPUs ``qpu0 .. qpu{k-1}`` in
-    interleaved position order.  ``basis`` as in the monolithic builder.
+    ``topology`` defaults to a line over ``qpu0 .. qpu{k-1}``; ``basis``
+    as in the COMPAS builder.
     """
     if design not in DESIGNS:
         raise ValueError(f"design must be one of {DESIGNS}")
@@ -101,19 +99,16 @@ def build_compas(
     mark = program.cursor()
 
     # ------------------------------------------------------------------
-    # Stage 1: distributed GHZ across the controller QPUs (Fig 4).
+    # Stage 1: distributed GHZ across *all* k QPUs (k - 1 fusion links).
     # ------------------------------------------------------------------
-    ghz_plan = distributed_ghz(
-        program,
-        [qpu_names[p] for p in controller_positions],
-        reset_ancillas=reset_ancillas,
-    )
-    ghz_of_position = dict(zip(controller_positions, ghz_plan.members))
+    ghz_plan = distributed_ghz(program, qpu_names, reset_ancillas=reset_ancillas)
+    members = list(ghz_plan.members)
     stage_depths["ghz_prep"] = program.build_range(mark, program.cursor()).depth()
     mark = program.cursor()
 
     # ------------------------------------------------------------------
-    # Stage 2: two rounds of distributed controlled transpositions.
+    # Stage 2: two rounds of transpositions, each controlled by the GHZ
+    # member living on its Alice QPU (always local).
     # ------------------------------------------------------------------
     round1, round2 = round_position_pairs(k)
     bells = 0
@@ -121,10 +116,9 @@ def build_compas(
         for a, b in pairs:
             alice_pos = a if round_index == 0 else b
             bob_pos = b if round_index == 0 else a
-            control = ghz_of_position[alice_pos]
             report = two_party_cswap(
                 program,
-                control,
+                members[alice_pos],
                 registers[alice_pos],
                 registers[bob_pos],
                 workspaces[alice_pos],
@@ -139,37 +133,10 @@ def build_compas(
         mark = program.cursor()
 
     # ------------------------------------------------------------------
-    # Stage 2b: optional GHZ-controlled observable (virtual cooling, Eq 10).
-    # The position-0 GHZ member and register are co-located, so this stays
-    # a purely local controlled-Pauli.
-    # ------------------------------------------------------------------
-    if observable is not None:
-        if len(observable) != n:
-            raise ValueError("observable label must have one Pauli per state qubit")
-        control = ghz_of_position[0]
-        for l, ch in enumerate(observable.upper()):
-            target = registers[0][l]
-            if ch == "I":
-                continue
-            if ch == "X":
-                program.cx(control, target)
-            elif ch == "Z":
-                program.cz(control, target)
-            elif ch == "Y":
-                program.sdg(target)
-                program.cx(control, target)
-                program.s(target)
-            else:
-                raise ValueError(f"invalid Pauli character {ch!r} in observable")
-        stage_depths["observable"] = program.build_range(mark, program.cursor()).depth()
-        mark = program.cursor()
-
-    # ------------------------------------------------------------------
-    # Stage 3: GHZ readout.
+    # Stage 3: k-wide GHZ readout.
     # ------------------------------------------------------------------
     readout: list[int] = []
     if basis is not None:
-        members = list(ghz_plan.members)
         if basis == "y":
             program.sdg(members[0])
         for g in members:
@@ -177,16 +144,17 @@ def build_compas(
         readout = [program.measure(g) for g in members]
         stage_depths["readout"] = program.build_range(mark, program.cursor()).depth()
 
-    return CompasBuild(
+    return NPartyHadamardBuild(
         program=program,
         k=k,
         n=n,
-        design=design,
-        ghz_qubits=tuple(ghz_plan.members),
+        variant="nparty",
+        ghz_qubits=tuple(members),
         position_registers=registers,
         user_of_position=user_of_position,
         basis=basis,
         readout_clbits=tuple(readout),
         stage_depths=stage_depths,
+        design=design,
         bell_pairs_cswaps=bells,
     )

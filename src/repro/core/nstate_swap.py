@@ -1,16 +1,21 @@
-"""The COMPAS protocol: a fully distributed multi-party SWAP test (Sec 3).
+"""Single-circuit N-state SWAP test with one shared ancilla control.
 
-One QPU per state, arranged on a line in the interleaved order
-``1, k, 2, k-1, ...`` so that both CSWAP rounds touch only nearest
-neighbours (Fig 5).  Even-position QPUs host the ceil(k/2) GHZ control
-qubits, prepared in constant depth by :func:`~repro.core.ghz.distributed_ghz`
-(Fig 4).  Each controlled transposition runs the two-party CSWAP of the
-chosen design (telegate / teledata), and the GHZ register is finally read
-out in the X or Y basis.
+The generalized SWAP test of arXiv:2110.13261 estimates the multivariate
+trace tr(rho_1 ... rho_k) with a *single* control qubit: |+> on one
+ancilla, a controlled cyclic shift over all k states, and an X/Y readout
+of the ancilla alone — the r = 1 end of the GHZ-width family whose
+r = ceil(k/2) point is COMPAS (Sec 2.3: the parity identity holds for any
+GHZ width).
 
-The build exposes the same duck-typed surface as the monolithic
-:class:`~repro.core.swap_test.SwapTestBuild`, so the shot estimator in
-:mod:`repro.core.estimator` drives both interchangeably.
+The distributed lowering keeps the COMPAS transposition schedule (two
+nearest-neighbour rounds of the interleaved arrangement, the same
+two-party CSWAP designs), but instead of a distributed GHZ register the
+one ancilla lives on the position-0 QPU and is *cat-entangled* to each
+remote controller QPU for the duration of its round (one Bell pair per
+remote transposition, purpose ``"ctrl-cat"``).  Those cat links span
+growing hop distances on a line — the distinguishing noise profile: a
+single control qubit instead of ceil(k/2), traded for long-range
+cat-floor events and a serialised control dependency.
 """
 
 from __future__ import annotations
@@ -19,47 +24,46 @@ from dataclasses import dataclass
 
 from ..network.program import DistributedProgram
 from ..network.topology import Topology, line_topology
+from ..teleport.telegate import cat_disentangle, cat_entangle
 from .cswap import DESIGNS, alloc_workspace, two_party_cswap
 from .cyclic_shift import interleaved_arrangement, round_position_pairs, slot_assignment
-from .ghz import distributed_ghz
 from .protocol import ProtocolBuild
 
-__all__ = ["CompasBuild", "build_compas"]
+__all__ = ["NStateSwapBuild", "build_nstate_swap"]
 
 
 @dataclass
-class CompasBuild(ProtocolBuild):
-    """A constructed COMPAS protocol instance."""
+class NStateSwapBuild(ProtocolBuild):
+    """A constructed single-ancilla N-state SWAP test."""
 
     design: str = "teledata"
     bell_pairs_cswaps: int = 0
-    variant: str = "compas"
+    bell_pairs_control: int = 0
 
     def circuit_name(self) -> str:
-        return f"compas_{self.design}"
+        return f"nstate_swap_{self.design}"
 
     def resources(self) -> dict:
-        """Resource summary: Bell pairs, qubits, depth per stage."""
         resources = super().resources()
-        del resources["variant"]
         resources["design"] = self.design
         resources["bell_pairs_cswaps"] = self.bell_pairs_cswaps
+        resources["bell_pairs_control"] = self.bell_pairs_control
         return resources
 
 
-def build_compas(
+def build_nstate_swap(
     k: int,
     n: int,
     design: str = "teledata",
     basis: str | None = None,
     topology: Topology | None = None,
     reset_ancillas: bool = True,
-    observable: str | None = None,
-) -> CompasBuild:
-    """Build the distributed k-party SWAP test over n-qubit states.
+) -> NStateSwapBuild:
+    """Build the distributed k-state test with one shared ancilla control.
 
-    ``topology`` defaults to a line over QPUs ``qpu0 .. qpu{k-1}`` in
-    interleaved position order.  ``basis`` as in the monolithic builder.
+    ``topology`` defaults to a line over ``qpu0 .. qpu{k-1}``; ``basis``
+    as in the COMPAS builder (``"x"`` real part, ``"y"`` imaginary part,
+    ``None`` measurement-free).
     """
     if design not in DESIGNS:
         raise ValueError(f"design must be one of {DESIGNS}")
@@ -97,31 +101,49 @@ def build_compas(
             is_controller=(p in controller_positions),
         )
 
+    round1, round2 = round_position_pairs(k)
+    alice_positions = [a for a, _ in round1] + [b for _, b in round2]
+    remote_alices = sorted({p for p in alice_positions if p != 0})
+
+    (ancilla,) = program.alloc(qpu_names[0], "control", 1)
+    mirrors = {
+        p: program.alloc(qpu_names[p], f"ctrl_mirror_{p}", 1)[0]
+        for p in remote_alices
+    }
+    ctrl_bell = None
+    if remote_alices:
+        (ctrl_bell,) = program.alloc(qpu_names[0], "ctrl_bell", 1)
+
     stage_depths: dict[str, int] = {}
     mark = program.cursor()
 
     # ------------------------------------------------------------------
-    # Stage 1: distributed GHZ across the controller QPUs (Fig 4).
+    # Stage 1: the single |+> control.
     # ------------------------------------------------------------------
-    ghz_plan = distributed_ghz(
-        program,
-        [qpu_names[p] for p in controller_positions],
-        reset_ancillas=reset_ancillas,
-    )
-    ghz_of_position = dict(zip(controller_positions, ghz_plan.members))
-    stage_depths["ghz_prep"] = program.build_range(mark, program.cursor()).depth()
+    program.h(ancilla)
+    stage_depths["control_prep"] = program.build_range(mark, program.cursor()).depth()
     mark = program.cursor()
 
     # ------------------------------------------------------------------
-    # Stage 2: two rounds of distributed controlled transpositions.
+    # Stage 2: two rounds of transpositions, all controlled by the one
+    # ancilla — cat-entangled out to each remote controller QPU.
     # ------------------------------------------------------------------
-    round1, round2 = round_position_pairs(k)
-    bells = 0
+    cswap_bells = 0
+    control_bells = 0
     for round_index, pairs in enumerate((round1, round2)):
         for a, b in pairs:
             alice_pos = a if round_index == 0 else b
             bob_pos = b if round_index == 0 else a
-            control = ghz_of_position[alice_pos]
+            link = None
+            if alice_pos == 0:
+                control = ancilla
+            else:
+                program.create_bell_pair(
+                    ctrl_bell, mirrors[alice_pos], purpose="ctrl-cat"
+                )
+                control_bells += 1
+                link = cat_entangle(program, ancilla, ctrl_bell, mirrors[alice_pos])
+                control = link.mirror
             report = two_party_cswap(
                 program,
                 control,
@@ -132,61 +154,37 @@ def build_compas(
                 design=design,
                 reset_ancillas=reset_ancillas,
             )
-            bells += report.bell_pairs
+            cswap_bells += report.bell_pairs
+            if link is not None:
+                cat_disentangle(program, link)
         stage_depths[f"cswap_round{round_index + 1}"] = program.build_range(
             mark, program.cursor()
         ).depth()
         mark = program.cursor()
 
     # ------------------------------------------------------------------
-    # Stage 2b: optional GHZ-controlled observable (virtual cooling, Eq 10).
-    # The position-0 GHZ member and register are co-located, so this stays
-    # a purely local controlled-Pauli.
-    # ------------------------------------------------------------------
-    if observable is not None:
-        if len(observable) != n:
-            raise ValueError("observable label must have one Pauli per state qubit")
-        control = ghz_of_position[0]
-        for l, ch in enumerate(observable.upper()):
-            target = registers[0][l]
-            if ch == "I":
-                continue
-            if ch == "X":
-                program.cx(control, target)
-            elif ch == "Z":
-                program.cz(control, target)
-            elif ch == "Y":
-                program.sdg(target)
-                program.cx(control, target)
-                program.s(target)
-            else:
-                raise ValueError(f"invalid Pauli character {ch!r} in observable")
-        stage_depths["observable"] = program.build_range(mark, program.cursor()).depth()
-        mark = program.cursor()
-
-    # ------------------------------------------------------------------
-    # Stage 3: GHZ readout.
+    # Stage 3: single-qubit readout.
     # ------------------------------------------------------------------
     readout: list[int] = []
     if basis is not None:
-        members = list(ghz_plan.members)
         if basis == "y":
-            program.sdg(members[0])
-        for g in members:
-            program.h(g)
-        readout = [program.measure(g) for g in members]
+            program.sdg(ancilla)
+        program.h(ancilla)
+        readout = [program.measure(ancilla)]
         stage_depths["readout"] = program.build_range(mark, program.cursor()).depth()
 
-    return CompasBuild(
+    return NStateSwapBuild(
         program=program,
         k=k,
         n=n,
-        design=design,
-        ghz_qubits=tuple(ghz_plan.members),
+        variant="nstate",
+        ghz_qubits=(ancilla,),
         position_registers=registers,
         user_of_position=user_of_position,
         basis=basis,
         readout_clbits=tuple(readout),
         stage_depths=stage_depths,
-        bell_pairs_cswaps=bells,
+        design=design,
+        bell_pairs_cswaps=cswap_bells,
+        bell_pairs_control=control_bells,
     )

@@ -16,13 +16,14 @@ estimator reproduces tr(rho_1 rho_2 ... rho_k) in the caller's order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..fanout.fanout import fanout_ancillas_required
 from ..fanout.parallel_toffoli import append_parallel_cswap
 from ..network.program import DistributedProgram
 from .cyclic_shift import interleaved_arrangement, round_position_pairs, slot_assignment
 from .ghz import local_ghz_constant_depth, local_ghz_linear
+from .protocol import ProtocolBuild
 
 __all__ = ["SwapTestBuild", "build_monolithic_swap_test", "VARIANTS"]
 
@@ -30,34 +31,13 @@ VARIANTS = ("hadamard", "b", "c", "d")
 
 
 @dataclass
-class SwapTestBuild:
+class SwapTestBuild(ProtocolBuild):
     """A constructed multi-party SWAP test circuit plus its metadata."""
 
-    program: DistributedProgram
-    k: int
-    n: int
-    variant: str
-    ghz_qubits: tuple[int, ...]
-    position_registers: tuple[tuple[int, ...], ...]
-    user_of_position: tuple[int, ...]
-    basis: str | None
-    readout_clbits: tuple[int, ...] = ()
-    stage_depths: dict[str, int] = field(default_factory=dict)
     fanout_ancillas: tuple[int, ...] = ()
 
-    def circuit(self):
-        """The flat circuit (build lazily so callers can inspect stages)."""
-        return self.program.build(name=f"swap_test_{self.variant}")
-
-    @property
-    def ghz_width(self) -> int:
-        """Width of the GHZ control register."""
-        return len(self.ghz_qubits)
-
-    @property
-    def total_qubits(self) -> int:
-        """All qubits including data, control, and ancillas."""
-        return self.program.machine.num_qubits
+    def circuit_name(self) -> str:
+        return f"swap_test_{self.variant}"
 
 
 def _controller_positions(k: int) -> list[int]:

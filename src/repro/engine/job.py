@@ -158,15 +158,16 @@ class Job:
     def content_hash(self) -> str:
         """Stable hex digest of everything that determines the result.
 
-        The ``v4`` tag marks the stabilizer-kernel era: auto-routing now
-        sends Clifford sample jobs (including Pauli/link-noisy ones) to the
-        batched stabilizer kernel, whose RNG consumption differs from the
-        backends that served them before, so cached bits persisted by the
-        ``v3`` physical-network pipeline (or the earlier ``v2``/``v1``
-        eras) must never be served.
+        The ``v5`` tag marks the protocol-family era: the distributed
+        builders gained new family members (pairwise multi-state, single-
+        ancilla n-state, N-party Hadamard) and a shared job-packaging path
+        whose ensemble ordering is position-driven rather than party-
+        driven, so cached bits persisted by the ``v4`` stabilizer-kernel
+        pipeline (or the earlier ``v3``/``v2``/``v1`` eras) must never be
+        served.
         """
         h = hashlib.sha256()
-        h.update(b"repro-job-v4")
+        h.update(b"repro-job-v5")
         h.update(_circuit_digest(self.circuit))
         if self.backend is not None:
             h.update(b"be" + self.backend.encode())

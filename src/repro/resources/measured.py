@@ -30,17 +30,19 @@ Conventions (and where they differ from the closed forms):
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
-from ..core.compas import build_compas
-from ..core.naive import build_naive_distribution
+from ..core.protocol import family_builds
 from ..network.lowering import LoweredProgram
 from ..network.topology import Topology
 
 __all__ = ["MeasuredCost", "measure_scheme_cost", "measured_scheme_comparison"]
 
-#: Schemes :func:`measure_scheme_cost` can build and lower.
-SCHEMES = ("telegate", "teledata", "naive")
+#: Schemes :func:`measure_scheme_cost` can build and lower.  The first
+#: three are the original Tables 1-3 rows; the rest are the protocol
+#: family's alternative estimators, measured through the same lowering.
+SCHEMES = ("telegate", "teledata", "naive", "multistate", "nstate", "nparty")
 
 
 @dataclass(frozen=True)
@@ -120,18 +122,57 @@ def measure_scheme_cost(
     """Build, lower, and measure one scheme's per-QPU costs.
 
     ``scheme`` is ``"telegate"`` / ``"teledata"`` (the COMPAS designs,
-    Tables 1-2) or ``"naive"`` (Sec 2.5 redistribution).  ``topology``
-    defaults to the paper's line over ``qpu0 .. qpu{k-1}``.
+    Tables 1-2), ``"naive"`` (Sec 2.5 redistribution), or one of the
+    protocol-family estimators (``"multistate"`` / ``"nstate"`` /
+    ``"nparty"``).  ``topology`` defaults to the paper's line over
+    ``qpu0 .. qpu{k-1}``.
+
+    The multi-state scheme is a *sequential campaign* of ``C(k, 2)``
+    pairwise circuits, and its row follows that semantics: consumables
+    (Bell pairs, link load, depth, latency) accumulate across the
+    campaign while reusable qubit counts take the per-QPU peak, and
+    ``per_qpu`` nests one usage map per circuit.
     """
     if scheme not in SCHEMES:
         raise ValueError(f"scheme must be one of {SCHEMES}")
-    if scheme == "naive":
-        build = build_naive_distribution(k, n, basis="x", topology=topology)
-    else:
-        build = build_compas(k, n, design=scheme, basis="x", topology=topology)
-    lowered = build.lowered(bell_latency=bell_latency)
-    topology_name = build.program.topology.name if build.program.topology else "custom"
-    return _from_lowered(scheme, n, k, lowered, build.program.ledger, topology_name)
+    member = f"compas-{scheme}" if scheme in ("telegate", "teledata") else scheme
+    builds = family_builds(member, k, n, basis="x", topology=topology)
+    topology_name = (
+        builds[0].program.topology.name if builds[0].program.topology else "custom"
+    )
+    if len(builds) == 1:
+        lowered = builds[0].lowered(bell_latency=bell_latency)
+        return _from_lowered(scheme, n, k, lowered, builds[0].program.ledger, topology_name)
+
+    lowereds = [build.lowered(bell_latency=bell_latency) for build in builds]
+    bell_by_qpu: Counter = Counter()
+    physical_by_qpu: Counter = Counter()
+    link_load: Counter = Counter()
+    for build, lowered in zip(builds, lowereds):
+        for name, usage in lowered.per_qpu.items():
+            bell_by_qpu[name] += usage.bell_pairs
+            physical_by_qpu[name] += usage.physical_bell_pairs
+        link_load.update(build.program.ledger.physical_by_link)
+    return MeasuredCost(
+        scheme=scheme,
+        n=n,
+        k=k,
+        topology=topology_name,
+        ancilla=max(lowered.max_qpu("ancilla") for lowered in lowereds),
+        bell_pairs=max(bell_by_qpu.values(), default=0),
+        physical_bell_pairs=max(physical_by_qpu.values(), default=0),
+        total_logical_bells=sum(lowered.logical_bells for lowered in lowereds),
+        total_physical_bells=sum(lowered.physical_bells for lowered in lowereds),
+        max_link_load=max(link_load.values(), default=0),
+        depth=sum(lowered.depth for lowered in lowereds),
+        latency=sum(lowered.latency for lowered in lowereds),
+        per_qpu={
+            build.circuit_name(): {
+                name: usage.to_dict() for name, usage in lowered.per_qpu.items()
+            }
+            for build, lowered in zip(builds, lowereds)
+        },
+    )
 
 
 def measured_scheme_comparison(
@@ -139,15 +180,18 @@ def measured_scheme_comparison(
     k: int,
     topology: Topology | None = None,
     bell_latency: float = 1.0,
+    schemes: tuple[str, ...] | None = None,
 ) -> list[dict]:
     """The measured analogue of :func:`repro.resources.scheme_comparison`.
 
-    One row per scheme, derived from the circuits we actually build; pair
-    it with the closed-form table to cross-check scaling and constants.
+    One row per scheme (default: all of :data:`SCHEMES`, the Tables 1-3
+    rows plus the protocol-family estimators), derived from the circuits
+    we actually build; pair it with the closed-form table to cross-check
+    scaling and constants.
     """
     return [
         measure_scheme_cost(
             scheme, n, k, topology=topology, bell_latency=bell_latency
         ).to_dict()
-        for scheme in SCHEMES
+        for scheme in (schemes if schemes is not None else SCHEMES)
     ]

@@ -97,6 +97,9 @@ class ServiceConfig:
     limits: SpecLimits = field(default_factory=SpecLimits)
     max_body_bytes: int = 8 * 1024 * 1024
     max_jobs_retained: int = 1024
+    max_events: int = 4096
+    """Events retained per job record (oldest dropped first; the drop
+    count is surfaced in the polling view and the event stream)."""
 
     def validate(self) -> None:
         """Raise :class:`ValueError` on any invalid field."""
@@ -112,6 +115,8 @@ class ServiceConfig:
             raise ValueError("max_body_bytes must be positive")
         if self.max_jobs_retained < 1:
             raise ValueError("max_jobs_retained must be positive")
+        if self.max_events < 1:
+            raise ValueError("max_events must be positive")
         self.default_quota.validate()
         for quota in self.quotas.values():
             quota.validate()

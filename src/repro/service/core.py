@@ -115,7 +115,7 @@ class ExperimentService:
                 existing.join(submission.tenant)
                 metrics.counter("service.deduped", tenant=submission.tenant).inc()
                 return existing, True
-            record = JobRecord(submission=submission)
+            record = JobRecord(submission=submission, max_events=self.config.max_events)
             try:
                 self.queue.submit(record)
             except QuotaExceeded:

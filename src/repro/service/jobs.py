@@ -8,12 +8,18 @@ worker executing the job.  States move strictly forward::
     queued | running  -> cancelled
 
 Every state change and every finished sweep point is appended to the
-record's event log, an append-only list consumed by the streaming
-endpoint via :meth:`JobRecord.events_since` — a cursor interface, so any
-number of stream readers (including ones that connect after completion)
-replay the same events without coordination.  Failure messages carry
-``str(exc)`` only, never a traceback: what a tenant sees must not leak
-server internals.
+record's event log, consumed by the streaming endpoint via
+:meth:`JobRecord.events_since` — a cursor interface, so any number of
+stream readers (including ones that connect after completion) replay the
+same events without coordination.  The log is *bounded*: with
+``max_events`` set, the oldest events are dropped first and the running
+``dropped`` count is surfaced both in the polling view and as a
+synthetic ``{"event": "dropped"}`` line to any stream reader whose
+cursor fell behind the retained window — a long sweep can never grow a
+record without bound, and a reader always learns it missed something.
+Cursors are *absolute* event indices, so they stay valid across drops.
+Failure messages carry ``str(exc)`` only, never a traceback: what a
+tenant sees must not leak server internals.
 """
 
 from __future__ import annotations
@@ -54,7 +60,13 @@ class JobRecord:
     result: dict | None = None
     #: Every tenant that submitted (or joined via dedupe) this job.
     tenants: set = field(default_factory=set)
+    #: Retain at most this many events (``None``: unbounded, oldest first).
+    max_events: int | None = None
+    #: How many events have been dropped from the head of the log.
+    dropped: int = 0
     _events: list = field(default_factory=list)
+    #: Absolute index of ``_events[0]`` (> 0 once events have dropped).
+    _base: int = 0
     _wakers: list = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock)
     _changed: threading.Condition = field(init=False)
@@ -128,6 +140,11 @@ class JobRecord:
 
     def _publish(self, event: dict) -> None:
         self._events.append(event)
+        if self.max_events is not None and len(self._events) > self.max_events:
+            overflow = len(self._events) - self.max_events
+            del self._events[:overflow]
+            self._base += overflow
+            self.dropped += overflow
         self._changed.notify_all()
         for waker in self._wakers:
             waker()
@@ -143,10 +160,29 @@ class JobRecord:
             self._wakers.append(waker)
 
     def events_since(self, cursor: int) -> tuple[list, int, bool]:
-        """Events after ``cursor``: ``(chunk, new_cursor, finished)``."""
+        """Events after ``cursor``: ``(chunk, new_cursor, finished)``.
+
+        ``cursor`` is an absolute event index.  When it points below the
+        retained window (events it names were dropped), the chunk is
+        prefixed with a synthetic ``dropped`` event naming how many were
+        missed, so a slow stream reader sees the gap instead of silently
+        skipping it.
+        """
         with self._lock:
-            chunk = self._events[cursor:]
-            return chunk, len(self._events), self.state in States.TERMINAL
+            missed = max(self._base - cursor, 0)
+            start = max(cursor - self._base, 0)
+            chunk = self._events[start:]
+            if missed:
+                chunk = [
+                    {
+                        "event": "dropped",
+                        "job_id": self.job_id,
+                        "count": missed,
+                        "total_dropped": self.dropped,
+                    },
+                    *chunk,
+                ]
+            return chunk, self._base + len(self._events), self.state in States.TERMINAL
 
     # ------------------------------------------------------------------
     def latency(self) -> float | None:
@@ -167,7 +203,8 @@ class JobRecord:
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
-                "events": len(self._events),
+                "events": self._base + len(self._events),
+                "events_dropped": self.dropped,
             }
             if self.error is not None:
                 payload["error"] = self.error

@@ -41,11 +41,12 @@ plain nested lists of numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
 from ..api import Experiment, NetworkSpec, NoiseSpec, ProtocolSpec, RunOptions, stable_hash
+from ..api.experiment import _DISTRIBUTED_KINDS
 from ..api.result import _decode, _encode
 from .config import SpecLimits
 
@@ -147,6 +148,30 @@ def _payload_swap_test(payload: dict, limits: SpecLimits) -> dict:
     for index, state in enumerate(states):
         _check_vector(state, limits, f"states[{index}]")
     return {"states": tuple(_as_array(s, f"states[{i}]", 1) for i, s in enumerate(states))}
+
+
+def _payload_protocol_family(payload: dict, limits: SpecLimits, kind: str) -> dict:
+    """Shared states-list payload of the three protocol-family kinds."""
+    states = payload.get("states")
+    if not isinstance(states, (list, tuple)) or len(states) < 2:
+        raise _fail(f"{kind} payload needs 'states': a list of >= 2 state vectors")
+    if len(states) > limits.max_parties:
+        raise _fail(f"too many states: {len(states)} > max_parties={limits.max_parties}")
+    for index, state in enumerate(states):
+        _check_vector(state, limits, f"states[{index}]")
+    return {"states": tuple(_as_array(s, f"states[{i}]", 1) for i, s in enumerate(states))}
+
+
+def _payload_multistate_swap(payload: dict, limits: SpecLimits) -> dict:
+    return _payload_protocol_family(payload, limits, "multistate_swap")
+
+
+def _payload_nstate_swap(payload: dict, limits: SpecLimits) -> dict:
+    return _payload_protocol_family(payload, limits, "nstate_swap")
+
+
+def _payload_nparty_hadamard(payload: dict, limits: SpecLimits) -> dict:
+    return _payload_protocol_family(payload, limits, "nparty_hadamard")
 
 
 def _payload_trace_sum(payload: dict, limits: SpecLimits) -> dict:
@@ -269,6 +294,9 @@ def _payload_overall_fidelity(payload: dict, limits: SpecLimits) -> dict:
 
 _PAYLOAD_PARSERS = {
     "swap_test": _payload_swap_test,
+    "multistate_swap": _payload_multistate_swap,
+    "nstate_swap": _payload_nstate_swap,
+    "nparty_hadamard": _payload_nparty_hadamard,
     "trace_sum": _payload_trace_sum,
     "renyi": _payload_renyi,
     "spectroscopy": _payload_spectroscopy,
@@ -392,6 +420,11 @@ def parse_submission(payload, limits: SpecLimits | None = None) -> Submission:
     experiment_payload = _PAYLOAD_PARSERS[kind](_decode(raw_payload), limits)
 
     protocol = _parse_spec(ProtocolSpec, spec.get("protocol"), "protocol")
+    if kind in _DISTRIBUTED_KINDS and "backend" not in (spec.get("protocol") or {}):
+        # Family kinds always lower through the distributed IR; default the
+        # backend so clients need not know the internal routing flag (an
+        # *explicit* wrong backend still fails validation below).
+        protocol = replace(protocol, backend="distributed")
     noise = _parse_noise(spec.get("noise"))
     network = _parse_spec(NetworkSpec, spec.get("network"), "network")
     options = _parse_spec(RunOptions, spec.get("options"), "options")

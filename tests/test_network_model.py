@@ -166,7 +166,7 @@ class TestNetworkSpec:
         # A non-ideal network must never be silently ignored.
         psi = np.array([1.0, 0.0], dtype=complex)
         spec = NetworkSpec(link_depolarizing=0.1)
-        with pytest.raises(ValueError, match="backend='compas'"):
+        with pytest.raises(ValueError, match="distributed backend"):
             run_multiparty_swap_test(
                 [psi, psi],
                 shots=10,
@@ -175,7 +175,7 @@ class TestNetworkSpec:
                 backend="monolithic",
                 network=spec,
             )
-        with pytest.raises(ValueError, match="backend='compas'"):
+        with pytest.raises(ValueError, match="distributed backend"):
             Experiment.swap_test([psi, psi], network=spec).validate()
         # The all-defaults (ideal) network stays legal everywhere.
         Experiment.swap_test([psi, psi], network=NetworkSpec()).validate()
@@ -449,10 +449,19 @@ class TestMeasuredVsClosedForm:
 
     def test_comparison_has_all_schemes(self):
         rows = measured_scheme_comparison(2, 4)
-        assert [r["scheme"] for r in rows] == ["telegate", "teledata", "naive"]
+        assert [r["scheme"] for r in rows] == [
+            "telegate",
+            "teledata",
+            "naive",
+            "multistate",
+            "nstate",
+            "nparty",
+        ]
         closed = {r["scheme"]: r for r in scheme_comparison(2, 4)}
         for row in rows:
-            if row["scheme"] == "naive":
+            # The closed-form tables cover the COMPAS designs only; the
+            # naive and protocol-family schemes are measured-only rows.
+            if row["scheme"] == "naive" or row["scheme"] not in closed:
                 continue
             # Same n-scaling family as the closed form (within the GHZ-link
             # boundary effect at k=4).

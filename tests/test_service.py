@@ -62,6 +62,22 @@ def swap_spec(tenant="alice", shots=300, seed=11, **extra):
     return spec
 
 
+FAMILY_KINDS = ("multistate_swap", "nstate_swap", "nparty_hadamard")
+
+
+def family_spec(kind, tenant="alice", shots=300, seed=3, **experiment_extra):
+    spec = {
+        "tenant": tenant,
+        "experiment": {
+            "kind": kind,
+            "payload": {"states": [[1, 0], [0, 1]]},
+            "options": {"shots": shots, "seed": seed},
+        },
+    }
+    spec["experiment"].update(experiment_extra)
+    return spec
+
+
 # ----------------------------------------------------------------------
 # Spec parsing (untrusted JSON -> validated Experiment)
 # ----------------------------------------------------------------------
@@ -164,6 +180,54 @@ class TestSpecParse:
         with pytest.raises(SpecError) as excinfo:
             parse_submission(spec, SpecLimits(max_sweep_points=100))
         assert "grid points" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Protocol-family kinds through the untrusted front door
+# ----------------------------------------------------------------------
+class TestFamilySpecParse:
+    @pytest.mark.parametrize("kind", FAMILY_KINDS)
+    def test_family_kind_parses_with_distributed_default(self, kind):
+        submission = parse_submission(family_spec(kind))
+        assert submission.experiment.kind == kind
+        # A client that omits the backend still gets the only legal one.
+        assert submission.experiment.protocol.backend == "distributed"
+        assert len(submission.job_id) == 32
+
+    def test_family_kinds_key_distinct_jobs(self):
+        ids = {parse_submission(family_spec(kind)).job_id for kind in FAMILY_KINDS}
+        assert len(ids) == 3
+
+    @pytest.mark.parametrize("kind", FAMILY_KINDS)
+    @pytest.mark.parametrize("mangle,needle", [
+        (lambda s: s["experiment"]["payload"].update(states=[[1, 0]] * 40),
+         "max_parties"),
+        (lambda s: s["experiment"]["payload"].update(states=[[1, 0]]),
+         ">= 2 state vectors"),
+        (lambda s: s["experiment"]["payload"].update(states=[[1, 0], [1, 0, 0, 0]]),
+         "equal width"),
+        (lambda s: s["experiment"].update(network={"topology": "moebius"}),
+         "topology"),
+        (lambda s: s["experiment"].update(protocol={"backend": "monolithic"}),
+         "distributed"),
+    ])
+    def test_hostile_family_specs_rejected_with_safe_message(
+        self, kind, mangle, needle
+    ):
+        spec = family_spec(kind)
+        mangle(spec)
+        with pytest.raises(SpecError) as excinfo:
+            parse_submission(spec)
+        message = str(excinfo.value)
+        assert needle in message
+        assert "Traceback" not in message
+
+    def test_oversized_family_state_rejected_before_allocation(self):
+        spec = family_spec("nstate_swap")
+        spec["experiment"]["payload"]["states"] = [[0] * 4096, [0] * 4096]
+        with pytest.raises(SpecError) as excinfo:
+            parse_submission(spec, SpecLimits(max_qubits=4))
+        assert "qubit limit" in str(excinfo.value)
 
 
 # ----------------------------------------------------------------------
@@ -571,3 +635,65 @@ class TestServiceUnit:
         assert len(service.jobs) == 2
         assert service.get(records[0].job_id) is None
         assert service.get(records[2].job_id) is not None
+
+
+# ----------------------------------------------------------------------
+# Bounded per-record event log
+# ----------------------------------------------------------------------
+class TestBoundedEventLog:
+    def test_unbounded_by_default(self):
+        record = make_record("alice", seed=1)
+        for index in range(100):
+            record.publish({"event": "point", "index": index})
+        events, cursor, _ = record.events_since(0)
+        assert len(events) == 101  # queued + 100 points
+        assert cursor == 101
+        assert record.dropped == 0
+
+    def test_oldest_events_dropped_at_the_cap(self):
+        record = JobRecord(
+            submission=parse_submission(ghz_spec()), max_events=5,
+        )
+        for index in range(12):
+            record.publish({"event": "point", "index": index})
+        events, cursor, _ = record.events_since(cursor=8)
+        # 13 total (queued + 12 points), 5 retained: absolute cursor 8
+        # sits inside the retained window [8, 13).
+        assert [e["index"] for e in events] == [7, 8, 9, 10, 11]
+        assert cursor == 13
+        assert record.dropped == 8
+        assert record.to_dict()["events"] == 13
+        assert record.to_dict()["events_dropped"] == 8
+
+    def test_stale_cursor_sees_synthetic_dropped_event(self):
+        record = JobRecord(
+            submission=parse_submission(ghz_spec()), max_events=3,
+        )
+        for index in range(10):
+            record.publish({"event": "point", "index": index})
+        events, cursor, _ = record.events_since(0)
+        assert events[0]["event"] == "dropped"
+        assert events[0]["count"] == 8  # absolute indices 0..7 are gone
+        assert events[0]["total_dropped"] == record.dropped == 8
+        assert [e["index"] for e in events[1:]] == [7, 8, 9]
+        # The cursor resumes past the gap: a second read is drop-free.
+        later, _, _ = record.events_since(cursor)
+        assert later == []
+
+    def test_service_config_bounds_job_records(self):
+        service = ExperimentService(ServiceConfig(max_events=2))
+        record, _ = service.submit(ghz_spec(shots=100))
+        service.queue.acquire()
+        service._execute(record)
+        # queued/running/result/done is 4 events through a cap of 2.
+        view = record.to_dict()
+        assert view["events"] == 4
+        assert view["events_dropped"] == 2
+        events, _, terminal = record.events_since(0)
+        assert terminal
+        assert events[0]["event"] == "dropped"
+        assert [e["event"] for e in events[1:]] == ["result", "done"]
+
+    def test_max_events_config_validated(self):
+        with pytest.raises(ValueError, match="max_events"):
+            ServiceConfig(max_events=0).validate()
